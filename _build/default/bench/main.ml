@@ -1,0 +1,250 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (Tables 1-9, the section 4.2.4 comparison, and the section 4.2.1 timing
+   model) over the full ten-benchmark suite, printing measured values next
+   to the paper's where available.
+
+   Part 2 runs one Bechamel micro-benchmark per table, timing the core
+   computation that regenerates it (profiling, inlining, trace selection,
+   layout, cache simulation variants, code scaling). *)
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: table regeneration                                          *)
+(* ------------------------------------------------------------------ *)
+
+let regenerate_tables () =
+  say "=== IMPACT-I instruction placement reproduction: all experiments ===";
+  say "(building pipelines for the ten benchmarks; this takes a minute)";
+  let t0 = Unix.gettimeofday () in
+  let ctx = Experiments.Context.create () in
+  List.iter
+    (fun spec ->
+      let t = Unix.gettimeofday () in
+      let rendered = Experiments.Runner.run_one ctx spec in
+      say "";
+      print_string rendered;
+      say "[table %s regenerated in %.1fs]" spec.Experiments.Runner.id
+        (Unix.gettimeofday () -. t))
+    Experiments.Runner.all;
+  say "";
+  say "=== all experiments regenerated in %.1fs ==="
+    (Unix.gettimeofday () -. t0);
+  ctx
+
+(* Trend figures: the Table 6 sweep as sparklines and the 2KB design
+   point as a bar chart, natural vs optimized. *)
+let figures ctx =
+  say "";
+  let rows = Experiments.Table6.compute ctx in
+  let pct v = Printf.sprintf "%.2f%%" (100. *. v) in
+  print_string
+    (Report.Chart.sparklines ~format:pct
+       ~title:
+         "Figure A: miss ratio vs cache size (direct-mapped, 64B blocks, \
+          optimized layout; glyph ramp ' .:-=+*#@' scaled to the worst \
+          point)"
+       ~points:[ "8K"; "4K"; "2K"; "1K"; "0.5K" ]
+       (List.map
+          (fun (r : Experiments.Sweep.row) ->
+            (r.Experiments.Sweep.name,
+             List.map (fun c -> c.Experiments.Sweep.miss) r.Experiments.Sweep.cells))
+          rows));
+  say "";
+  let ablation = Experiments.Ablation.compute ctx in
+  print_string
+    (Report.Chart.bars ~format:pct
+       ~title:
+         "Figure B: 2KB/64B miss ratio, natural layout (pre-inlining \
+          baseline)"
+       (List.map
+          (fun (r : Experiments.Ablation.row) ->
+            (r.Experiments.Ablation.name, r.Experiments.Ablation.baseline))
+          ablation));
+  say "";
+  print_string
+    (Report.Chart.bars ~format:pct
+       ~title:"Figure C: 2KB/64B miss ratio, full placement pipeline"
+       (List.map
+          (fun (r : Experiments.Ablation.row) ->
+            (r.Experiments.Ablation.name, r.Experiments.Ablation.full))
+          ablation))
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: bechamel micro-benchmarks                                   *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+(* Small fixed artifacts reused across the micro-benchmarks so each test
+   times exactly one pipeline stage. *)
+module Fixture = struct
+  let bench = Workloads.Registry.find "wc"
+  let program = Workloads.Bench.program bench
+  let input = Vm.Io.input [ Workloads.Inputs.text ~seed:1 ~bytes:4_000 ]
+  let profile = Vm.Profile.profile program [ input ]
+  let trace = Sim.Trace_gen.record program input
+  let natural = Placement.Address_map.natural program
+
+  let selections =
+    Array.mapi
+      (fun fid f ->
+        Placement.Trace_select.select f
+          (Placement.Weight.cfg_of_profile profile fid))
+      program.Ir.Prog.funcs
+
+  let layouts =
+    Array.mapi
+      (fun fid f ->
+        Placement.Func_layout.layout f
+          (Placement.Weight.cfg_of_profile profile fid)
+          selections.(fid))
+      program.Ir.Prog.funcs
+
+  let global =
+    Placement.Global_layout.layout
+      (Array.length program.Ir.Prog.funcs)
+      ~entry:program.Ir.Prog.entry
+      (Placement.Weight.call_of_profile profile)
+
+  let optimized = Placement.Address_map.build program ~layouts ~order:global
+
+  let simulate config map =
+    ignore (Sim.Driver.simulate config map trace)
+end
+
+
+let tests =
+  [
+    (* Table 1: baseline lookup. *)
+    Test.make ~name:"t1_smith_lookup"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Paper.smith_miss_ratio ~cache_size:2048
+                ~block_size:64)));
+    (* Table 2: execution profiling. *)
+    Test.make ~name:"t2_profile_run"
+      (Staged.stage (fun () ->
+           ignore (Vm.Profile.profile Fixture.program [ Fixture.input ])));
+    (* Table 3: inline expansion. *)
+    Test.make ~name:"t3_inline_expand"
+      (Staged.stage (fun () ->
+           ignore
+             (Placement.Inline.expand_once Placement.Inline.default_config
+                ~budget:max_int Fixture.program Fixture.profile)));
+    (* Table 4: trace selection over every function. *)
+    Test.make ~name:"t4_trace_selection"
+      (Staged.stage (fun () ->
+           Array.iteri
+             (fun fid f ->
+               ignore
+                 (Placement.Trace_select.select f
+                    (Placement.Weight.cfg_of_profile Fixture.profile fid)))
+             Fixture.program.Ir.Prog.funcs));
+    (* Table 5: function + global layout and address assignment. *)
+    Test.make ~name:"t5_layout_and_map"
+      (Staged.stage (fun () ->
+           let layouts =
+             Array.mapi
+               (fun fid f ->
+                 Placement.Func_layout.layout f
+                   (Placement.Weight.cfg_of_profile Fixture.profile fid)
+                   Fixture.selections.(fid))
+               Fixture.program.Ir.Prog.funcs
+           in
+           ignore
+             (Placement.Address_map.build Fixture.program ~layouts
+                ~order:Fixture.global)));
+    (* Table 6: whole-block direct-mapped simulation. *)
+    Test.make ~name:"t6_sim_direct_2k_64"
+      (Staged.stage (fun () ->
+           Fixture.simulate (Icache.Config.make ~size:2048 ~block:64 ())
+             Fixture.optimized));
+    (* Table 7: small-block simulation. *)
+    Test.make ~name:"t7_sim_direct_2k_16"
+      (Staged.stage (fun () ->
+           Fixture.simulate (Icache.Config.make ~size:2048 ~block:16 ())
+             Fixture.optimized));
+    (* Table 8: sectored and partial fills. *)
+    Test.make ~name:"t8_sim_sectored"
+      (Staged.stage (fun () ->
+           Fixture.simulate
+             (Icache.Config.make ~size:2048 ~block:64
+                ~fill:(Icache.Config.Sectored 8) ())
+             Fixture.optimized));
+    Test.make ~name:"t8_sim_partial"
+      (Staged.stage (fun () ->
+           Fixture.simulate
+             (Icache.Config.make ~size:2048 ~block:64
+                ~fill:Icache.Config.Partial ())
+             Fixture.optimized));
+    (* Table 9: code scaling + re-layout. *)
+    Test.make ~name:"t9_scale_and_map"
+      (Staged.stage (fun () ->
+           let scaled = Ir.Prog.scale_code 0.7 Fixture.program in
+           let layouts =
+             Array.mapi
+               (fun fid f ->
+                 Placement.Func_layout.layout f
+                   (Placement.Weight.cfg_of_profile Fixture.profile fid)
+                   Fixture.selections.(fid))
+               scaled.Ir.Prog.funcs
+           in
+           ignore
+             (Placement.Address_map.build scaled ~layouts
+                ~order:Fixture.global)));
+    (* Comparison: fully associative LRU baseline. *)
+    Test.make ~name:"t10_sim_full_assoc"
+      (Staged.stage (fun () ->
+           Fixture.simulate
+             (Icache.Config.make ~size:2048 ~block:64
+                ~assoc:Icache.Config.Full ())
+             Fixture.natural));
+    (* Timing ablation: simulation including the three timing models. *)
+    Test.make ~name:"t11_sim_with_timing"
+      (Staged.stage (fun () ->
+           Fixture.simulate
+             (Icache.Config.make ~size:2048 ~block:64
+                ~fill:Icache.Config.Partial ())
+             Fixture.optimized));
+  ]
+
+let run_microbenchmarks () =
+  say "";
+  say "=== bechamel micro-benchmarks (one per table) ===";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false
+      ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ time ] ->
+            let label =
+              if time > 1e9 then Printf.sprintf "%8.2f s " (time /. 1e9)
+              else if time > 1e6 then Printf.sprintf "%8.2f ms" (time /. 1e6)
+              else if time > 1e3 then Printf.sprintf "%8.2f us" (time /. 1e3)
+              else Printf.sprintf "%8.2f ns" time
+            in
+            say "  %-24s %s/run" name label
+          | Some _ | None -> say "  %-24s (no estimate)" name)
+        results)
+    tests
+
+let () =
+  let ctx = regenerate_tables () in
+  figures ctx;
+  run_microbenchmarks ();
+  say "";
+  say "done."

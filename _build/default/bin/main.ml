@@ -1,0 +1,250 @@
+(* impact — command-line driver for the IMPACT-I instruction placement
+   reproduction: run benchmarks, inspect the placement pipeline, and
+   regenerate the paper's tables. *)
+
+open Cmdliner
+
+let bench_names_arg =
+  let doc = "Restrict to these benchmarks (default: all ten)." in
+  Arg.(value & opt (some (list string)) None & info [ "b"; "benchmarks" ] ~doc)
+
+let context_of names = Experiments.Context.create ?names ()
+
+(* impact list *)
+let list_cmd =
+  let run () =
+    print_endline "benchmarks:";
+    List.iter
+      (fun b ->
+        Printf.printf "  %-9s %s\n" b.Workloads.Bench.name
+          b.Workloads.Bench.description)
+      Workloads.Registry.all;
+    print_endline "\nexperiments (impact table ID):";
+    List.iter
+      (fun s ->
+        Printf.printf "  %-3s %s\n" s.Experiments.Runner.id
+          s.Experiments.Runner.title)
+      Experiments.Runner.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and experiments")
+    Term.(const run $ const ())
+
+(* impact table N *)
+let table_cmd =
+  let id_arg =
+    let doc = "Experiment id (1-11); see `impact list'." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run id names =
+    let spec = Experiments.Runner.find id in
+    let ctx = context_of names in
+    print_string (Experiments.Runner.run_one ctx spec)
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Regenerate one of the paper's tables")
+    Term.(const run $ id_arg $ bench_names_arg)
+
+(* impact all *)
+let all_cmd =
+  let run names =
+    let ctx = context_of names in
+    print_string (Experiments.Runner.run_all ctx)
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every table")
+    Term.(const run $ bench_names_arg)
+
+(* impact run BENCH *)
+let run_cmd =
+  let bench_arg =
+    let doc = "Benchmark name." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let show_output =
+    let doc = "Print the program's stream-0 output." in
+    Arg.(value & flag & info [ "output" ] ~doc)
+  in
+  let run name show =
+    let b = Workloads.Registry.find name in
+    let p = Workloads.Bench.program b in
+    let r = Vm.Interp.run p (Workloads.Bench.trace_input b) in
+    Printf.printf
+      "%s: %d dynamic instructions, %d blocks, %d calls, %d branches, \
+       return value %d\n"
+      name r.Vm.Interp.dyn_insns r.Vm.Interp.dyn_blocks r.Vm.Interp.dyn_calls
+      r.Vm.Interp.dyn_branches r.Vm.Interp.return_value;
+    if show then print_string (Vm.Io.output r.Vm.Interp.io 0)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a benchmark on its trace input")
+    Term.(const run $ bench_arg $ show_output)
+
+(* impact pipeline BENCH *)
+let pipeline_cmd =
+  let bench_arg =
+    let doc = "Benchmark name." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let run name =
+    let b = Workloads.Registry.find name in
+    let p =
+      Placement.Pipeline.run (Workloads.Bench.program b)
+        ~inputs:(Workloads.Bench.profile_inputs b)
+    in
+    let ir = p.Placement.Pipeline.inline_report in
+    Printf.printf "benchmark           %s\n" name;
+    Printf.printf "functions           %d\n"
+      (Array.length p.Placement.Pipeline.program.Ir.Prog.funcs);
+    Printf.printf "inlined sites       %d (in %d rounds)\n"
+      ir.Placement.Inline.sites_inlined ir.Placement.Inline.rounds_used;
+    Printf.printf "static code         %d -> %d insns (%+.1f%%)\n"
+      ir.Placement.Inline.insns_before ir.Placement.Inline.insns_after
+      (100. *. Placement.Inline.code_increase ir);
+    Printf.printf "total bytes         %d\n"
+      p.Placement.Pipeline.optimized.Placement.Address_map.total_bytes;
+    Printf.printf "effective bytes     %d\n"
+      p.Placement.Pipeline.optimized.Placement.Address_map.effective_bytes;
+    Printf.printf "function order      %s\n"
+      (String.concat " "
+         (List.map
+            (fun fid ->
+              p.Placement.Pipeline.program.Ir.Prog.funcs.(fid).Ir.Prog.name)
+            (Array.to_list p.Placement.Pipeline.global.Placement.Global_layout.order)));
+    Array.iteri
+      (fun fid sel ->
+        let f = p.Placement.Pipeline.program.Ir.Prog.funcs.(fid) in
+        let lay = p.Placement.Pipeline.layouts.(fid) in
+        Printf.printf "  %-24s %3d blocks  %3d traces  %3d active blocks\n"
+          f.Ir.Prog.name (Array.length f.Ir.Prog.blocks)
+          (Array.length sel.Placement.Trace_select.traces)
+          lay.Placement.Func_layout.active_blocks)
+      p.Placement.Pipeline.selections
+  in
+  Cmd.v
+    (Cmd.info "pipeline" ~doc:"Show placement pipeline details for a benchmark")
+    Term.(const run $ bench_arg)
+
+(* impact simulate BENCH --size --block --assoc --fill --layout *)
+let simulate_cmd =
+  let bench_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"Benchmark name.")
+  in
+  let size_arg =
+    Arg.(value & opt int 2048 & info [ "size" ] ~doc:"Cache size in bytes.")
+  in
+  let block_arg =
+    Arg.(value & opt int 64 & info [ "block" ] ~doc:"Block size in bytes.")
+  in
+  let assoc_arg =
+    let doc = "Associativity: direct, N (ways), or full." in
+    Arg.(value & opt string "direct" & info [ "assoc" ] ~doc)
+  in
+  let fill_arg =
+    let doc = "Fill policy: whole, sector:N, or partial." in
+    Arg.(value & opt string "whole" & info [ "fill" ] ~doc)
+  in
+  let prefetch_arg =
+    Arg.(value & flag & info [ "prefetch" ] ~doc:"Next-line tagged prefetch.")
+  in
+  let layout_arg =
+    let doc = "Layout: optimized, natural, or ph (Pettis-Hansen)." in
+    Arg.(value & opt string "optimized" & info [ "layout" ] ~doc)
+  in
+  let run name size block assoc fill prefetch layout =
+    let assoc =
+      match assoc with
+      | "direct" -> Icache.Config.Direct
+      | "full" -> Icache.Config.Full
+      | n -> Icache.Config.Ways (int_of_string n)
+    in
+    let fill =
+      match String.split_on_char ':' fill with
+      | [ "whole" ] -> Icache.Config.Whole
+      | [ "partial" ] -> Icache.Config.Partial
+      | [ "sector"; n ] -> Icache.Config.Sectored (int_of_string n)
+      | _ -> failwith "bad --fill (whole | sector:N | partial)"
+    in
+    let config = Icache.Config.make ~assoc ~fill ~prefetch ~size ~block () in
+    let ctx = Experiments.Context.create ~names:[ name ] () in
+    let e = Experiments.Context.find ctx name in
+    let map =
+      match layout with
+      | "optimized" -> Experiments.Context.optimized_map e
+      | "natural" -> Experiments.Context.natural_map e
+      | "ph" -> Experiments.Context.ph_map e
+      | _ -> failwith "bad --layout (optimized | natural | ph)"
+    in
+    let r = Sim.Driver.simulate config map (Experiments.Context.trace e) in
+    Printf.printf "%s on %s (%s layout)\n" name
+      (Icache.Config.describe config)
+      layout;
+    Printf.printf "  accesses        %d\n" r.Sim.Driver.accesses;
+    Printf.printf "  misses          %d\n" r.Sim.Driver.misses;
+    Printf.printf "  miss ratio      %s\n"
+      (Report.Fmtutil.pct ~digits:3 r.Sim.Driver.miss_ratio);
+    Printf.printf "  traffic ratio   %s\n"
+      (Report.Fmtutil.pct ~digits:3 r.Sim.Driver.traffic_ratio);
+    Printf.printf "  avg.fetch       %.1f words/miss\n" r.Sim.Driver.avg_fetch_words;
+    Printf.printf "  avg.exec        %.1f insns/run\n" r.Sim.Driver.avg_exec_insns;
+    Printf.printf "  eff. access     %.3f cyc (blocking) / %.3f (streaming) / %.3f (partial)\n"
+      r.Sim.Driver.eat_blocking r.Sim.Driver.eat_streaming
+      r.Sim.Driver.eat_streaming_partial
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate one cache configuration on a benchmark")
+    Term.(
+      const run $ bench_arg $ size_arg $ block_arg $ assoc_arg $ fill_arg
+      $ prefetch_arg $ layout_arg)
+
+(* impact estimate BENCH *)
+let estimate_cmd =
+  let bench_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"Benchmark name.")
+  in
+  let size_arg =
+    Arg.(value & opt int 2048 & info [ "size" ] ~doc:"Cache size in bytes.")
+  in
+  let block_arg =
+    Arg.(value & opt int 64 & info [ "block" ] ~doc:"Block size in bytes.")
+  in
+  let run name size block =
+    let config = Icache.Config.make ~size ~block () in
+    let ctx = Experiments.Context.create ~names:[ name ] () in
+    let e = Experiments.Context.find ctx name in
+    let est =
+      Sim.Estimate.of_pipeline config (Experiments.Context.pipeline e)
+    in
+    let sim =
+      Sim.Driver.simulate config
+        (Experiments.Context.optimized_map e)
+        (Experiments.Context.trace e)
+    in
+    Printf.printf "%s at %s\n" name (Icache.Config.describe config);
+    Printf.printf "  estimated (profile only)  %s  (%d compulsory + %d conflict)\n"
+      (Report.Fmtutil.pct ~digits:3 est.Sim.Estimate.est_miss_ratio)
+      est.Sim.Estimate.compulsory est.Sim.Estimate.conflict;
+    Printf.printf "  simulated (trace driven)  %s\n"
+      (Report.Fmtutil.pct ~digits:3 sim.Sim.Driver.miss_ratio)
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Profile-only analytical miss estimate vs trace-driven simulation")
+    Term.(const run $ bench_arg $ size_arg $ block_arg)
+
+let main_cmd =
+  let doc =
+    "IMPACT-I instruction placement reproduction (Hwu & Chang, ISCA 1989)"
+  in
+  Cmd.group (Cmd.info "impact" ~doc)
+    [
+      list_cmd; table_cmd; all_cmd; run_cmd; pipeline_cmd; simulate_cmd;
+      estimate_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

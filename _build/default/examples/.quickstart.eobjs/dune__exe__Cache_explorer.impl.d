@@ -1,0 +1,1 @@
+examples/cache_explorer.ml: Array Icache List Placement Printf Report Sim Sys Vm Workloads

@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Icache Ir List Placement Printf Report Sim String Vm Workloads

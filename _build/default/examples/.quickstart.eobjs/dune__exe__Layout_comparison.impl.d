@@ -1,0 +1,1 @@
+examples/layout_comparison.ml: Array Icache Ir List Placement Printf Report Sim Sys Vm Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Icache Ir Placement Printf Report Sim Vm Workloads

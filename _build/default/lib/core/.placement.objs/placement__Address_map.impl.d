@@ -1,0 +1,1 @@
+lib/core/address_map.ml: Array Cfg Func_layout Global_layout Insn Ir List Prog

@@ -1,0 +1,1 @@
+lib/core/address_map.mli: Func_layout Global_layout Ir Prog

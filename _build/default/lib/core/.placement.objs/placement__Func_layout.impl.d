@@ -1,0 +1,1 @@
+lib/core/func_layout.ml: Array Cfg Ir List Prog Trace_select Weight

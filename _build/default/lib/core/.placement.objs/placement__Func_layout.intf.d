@@ -1,0 +1,1 @@
+lib/core/func_layout.mli: Cfg Ir Prog Trace_select Weight

@@ -1,0 +1,1 @@
+lib/core/global_layout.ml: Array List Weight

@@ -1,0 +1,1 @@
+lib/core/inline.ml: Array Callgraph Cfg Hashtbl Insn Ir List Option Prog Vm

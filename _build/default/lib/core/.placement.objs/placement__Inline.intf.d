@@ -1,0 +1,1 @@
+lib/core/inline.mli: Cfg Ir Prog Vm

@@ -1,0 +1,1 @@
+lib/core/ph_layout.ml: Array Cfg Func_layout Global_layout Hashtbl Ir List Prog Weight

@@ -1,0 +1,1 @@
+lib/core/ph_layout.mli: Func_layout Global_layout Ir Prog Weight

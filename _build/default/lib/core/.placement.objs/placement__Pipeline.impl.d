@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Address_map Array Func_layout Global_layout Inline Ir Prog Simplify Trace_select Vm Weight

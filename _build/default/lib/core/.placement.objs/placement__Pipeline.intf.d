@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Address_map Func_layout Global_layout Inline Ir Prog Trace_select Vm

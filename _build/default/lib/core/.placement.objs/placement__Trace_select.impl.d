@@ -1,0 +1,1 @@
+lib/core/trace_select.ml: Array Cfg Ir List Prog Weight

@@ -1,0 +1,1 @@
+lib/core/trace_select.mli: Cfg Ir Prog Weight

@@ -1,0 +1,1 @@
+lib/core/weight.ml: Array Callgraph Cfg Hashtbl Ir List Option Vm

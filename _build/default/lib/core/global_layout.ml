@@ -1,0 +1,47 @@
+(* Global layout — the paper's appendix [Algorithm GlobalLayout].
+
+   Functions are ordered by a depth-first traversal of the weighted call
+   graph that visits callees from the most to the least important call
+   pair.  The effective regions of all functions are laid out in DFS
+   order, followed by the non-active regions in the same order, so that
+   functions executed close together in time share pages and avoid cache
+   contention. *)
+
+type t = { order : int array } (* function ids in placement order *)
+
+let layout nfuncs ~entry (w : Weight.call_weights) : t =
+  let visited = Array.make nfuncs false in
+  let order = ref [] in
+  let rec visit fid =
+    if not visited.(fid) then begin
+      visited.(fid) <- true;
+      order := fid :: !order;
+      let callees = w.callees fid in
+      let sorted =
+        List.sort
+          (fun a b ->
+            match compare (w.pair fid b) (w.pair fid a) with
+            | 0 -> compare a b
+            | c -> c)
+          callees
+      in
+      List.iter visit sorted
+    end
+  in
+  (* Start from the top of the call-graph hierarchy (e.g. "main"), then
+     sweep any functions unreachable from it. *)
+  visit entry;
+  for fid = 0 to nfuncs - 1 do
+    visit fid
+  done;
+  { order = Array.of_list (List.rev !order) }
+
+let natural nfuncs : t = { order = Array.init nfuncs (fun i -> i) }
+
+let is_permutation t nfuncs =
+  Array.length t.order = nfuncs
+  && begin
+       let seen = Array.make nfuncs false in
+       Array.iter (fun f -> seen.(f) <- true) t.order;
+       Array.for_all (fun b -> b) seen
+     end

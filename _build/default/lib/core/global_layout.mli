@@ -1,0 +1,14 @@
+(** Global layout — the paper's appendix [Algorithm GlobalLayout]:
+    weighted depth-first ordering of the call graph, callees visited from
+    the most to the least important call pair. *)
+
+type t = { order : int array }  (** function ids in placement order *)
+
+val layout : int -> entry:int -> Weight.call_weights -> t
+(** [layout nfuncs ~entry w] starts the DFS at [entry] and then sweeps any
+    unvisited functions in index order. *)
+
+val natural : int -> t
+(** Unoptimized baseline: definition order. *)
+
+val is_permutation : t -> int -> bool

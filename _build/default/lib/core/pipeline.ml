@@ -1,0 +1,104 @@
+(* The five-step IMPACT-I instruction placement pipeline:
+   profile -> inline -> trace selection -> function layout -> global
+   layout, producing an address map for the optimized placement and the
+   natural (unoptimized) baseline map for comparison. *)
+
+open Ir
+
+type config = {
+  inline : Inline.config;
+  min_prob : float;
+  do_inline : bool; (* disable to ablate the inlining step *)
+  do_simplify : bool; (* CFG cleanups before profiling and after inlining *)
+}
+
+let default_config =
+  {
+    inline = Inline.default_config;
+    min_prob = Trace_select.default_min_prob;
+    do_inline = true;
+    do_simplify = true;
+  }
+
+type t = {
+  original : Prog.program;
+  original_profile : Vm.Profile.t;
+  program : Prog.program; (* after inline expansion *)
+  profile : Vm.Profile.t; (* profile of [program] over the same inputs *)
+  inline_report : Inline.report;
+  selections : Trace_select.t array; (* per function of [program] *)
+  layouts : Func_layout.t array;
+  global : Global_layout.t;
+  optimized : Address_map.t;
+  natural : Address_map.t;
+}
+
+let run ?(config = default_config) (original : Prog.program)
+    ~(inputs : Vm.Io.input list) : t =
+  (* Step 0 (compiler hygiene): CFG cleanups before anything is profiled. *)
+  let original =
+    if config.do_simplify then Simplify.program original else original
+  in
+  (* Step 1: execution profiling of the original program. *)
+  let original_profile = Vm.Profile.profile original inputs in
+  (* Step 2: inline expansion of the important call sites, then a second
+     cleanup pass over the splices. *)
+  let program, inline_report =
+    if config.do_inline then Inline.expand ~config:config.inline original ~inputs
+    else
+      ( original,
+        {
+          Inline.sites_inlined = 0;
+          insns_before = Prog.total_instr_count original;
+          insns_after = Prog.total_instr_count original;
+          rounds_used = 0;
+        } )
+  in
+  let program =
+    if config.do_simplify && config.do_inline then Simplify.program program
+    else program
+  in
+  (* Report code growth against what actually ships. *)
+  let inline_report =
+    { inline_report with Inline.insns_after = Prog.total_instr_count program }
+  in
+  (* Re-profile the transformed program on the same inputs so the layout
+     steps see weights that match its control graphs. *)
+  let profile = Vm.Profile.profile program inputs in
+  (* Step 3: trace selection per function. *)
+  let selections =
+    Array.mapi
+      (fun fid f ->
+        Trace_select.select ~min_prob:config.min_prob f
+          (Weight.cfg_of_profile profile fid))
+      program.Prog.funcs
+  in
+  (* Step 4: function body layout. *)
+  let layouts =
+    Array.mapi
+      (fun fid f ->
+        Func_layout.layout f (Weight.cfg_of_profile profile fid)
+          selections.(fid))
+      program.Prog.funcs
+  in
+  (* Step 5: global layout over the weighted call graph. *)
+  let global =
+    Global_layout.layout
+      (Array.length program.Prog.funcs)
+      ~entry:program.Prog.entry
+      (Weight.call_of_profile profile)
+  in
+  let optimized = Address_map.build program ~layouts ~order:global in
+  let natural = Address_map.natural program in
+  {
+    original;
+    original_profile;
+    program;
+    profile;
+    inline_report;
+    selections;
+    layouts;
+    global;
+    optimized;
+    natural;
+  }

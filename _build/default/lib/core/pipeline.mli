@@ -1,0 +1,31 @@
+(** The five-step IMPACT-I instruction placement pipeline:
+    profiling -> inline expansion -> trace selection -> function layout ->
+    global layout, yielding optimized and natural address maps. *)
+
+open Ir
+
+type config = {
+  inline : Inline.config;
+  min_prob : float;
+  do_inline : bool;  (** disable to ablate the inlining step *)
+  do_simplify : bool;
+      (** CFG cleanups (folding, threading, unreachable sweep) before
+          profiling and after inlining *)
+}
+
+val default_config : config
+
+type t = {
+  original : Prog.program;  (** after cleanups, before inlining *)
+  original_profile : Vm.Profile.t;
+  program : Prog.program;  (** after inline expansion *)
+  profile : Vm.Profile.t;  (** profile of [program] over the same inputs *)
+  inline_report : Inline.report;
+  selections : Trace_select.t array;  (** per function of [program] *)
+  layouts : Func_layout.t array;
+  global : Global_layout.t;
+  optimized : Address_map.t;
+  natural : Address_map.t;
+}
+
+val run : ?config:config -> Prog.program -> inputs:Vm.Io.input list -> t

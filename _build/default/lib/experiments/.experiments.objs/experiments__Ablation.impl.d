@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Context Icache List Placement Report Sim

@@ -1,0 +1,1 @@
+lib/experiments/assoc_exp.ml: Context Icache List Report Sim

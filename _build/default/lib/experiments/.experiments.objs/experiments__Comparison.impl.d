@@ -1,0 +1,1 @@
+lib/experiments/comparison.ml: Context Icache List Paper Report Sim

@@ -1,0 +1,1 @@
+lib/experiments/context.ml: Array Ir Lazy List Placement Sim Workloads

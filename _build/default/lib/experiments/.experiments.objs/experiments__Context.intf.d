@@ -1,0 +1,1 @@
+lib/experiments/context.mli: Lazy Placement Sim Workloads

@@ -1,0 +1,1 @@
+lib/experiments/estimate_exp.ml: Context Icache List Report Sim

@@ -1,0 +1,1 @@
+lib/experiments/paging_exp.ml: Context List Paging Printf Report Sim

@@ -1,0 +1,1 @@
+lib/experiments/ph_exp.ml: Context Icache List Report Sim

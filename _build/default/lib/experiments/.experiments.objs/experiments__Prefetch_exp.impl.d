@@ -1,0 +1,1 @@
+lib/experiments/prefetch_exp.ml: Context Icache List Report Sim

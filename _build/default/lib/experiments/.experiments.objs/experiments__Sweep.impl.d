@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Context List Option Paper Printf Report Sim

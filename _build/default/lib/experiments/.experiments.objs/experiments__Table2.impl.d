@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Context List Paper Placement Printf Report Vm Workloads

@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Array Context List Paper Placement Printf Report Sim Workloads

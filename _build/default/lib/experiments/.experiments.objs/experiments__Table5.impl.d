@@ -1,0 +1,1 @@
+lib/experiments/table5.ml: Context List Placement Report Sim

@@ -1,0 +1,1 @@
+lib/experiments/table6.ml: Context Icache List Paper Printf Sweep

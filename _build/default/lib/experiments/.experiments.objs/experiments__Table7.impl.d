@@ -1,0 +1,1 @@
+lib/experiments/table7.ml: Context Icache List Paper Printf Sweep

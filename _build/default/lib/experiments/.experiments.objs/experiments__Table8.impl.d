@@ -1,0 +1,1 @@
+lib/experiments/table8.ml: Context Icache List Paper Printf Report Sim

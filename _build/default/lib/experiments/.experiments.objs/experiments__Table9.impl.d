@@ -1,0 +1,1 @@
+lib/experiments/table9.ml: Context Icache List Paper Printf Sim Sweep

@@ -1,0 +1,1 @@
+lib/experiments/timing_exp.ml: Context Icache List Report Sim

@@ -1,0 +1,114 @@
+(* Shared experiment context: per benchmark, the placement pipeline, the
+   recorded block traces, and derived address maps — all computed lazily
+   and at most once, since every table draws on the same artifacts. *)
+
+type entry = {
+  bench : Workloads.Bench.t;
+  pipeline : Placement.Pipeline.t Lazy.t;
+  pipeline_noinline : Placement.Pipeline.t Lazy.t; (* inlining ablated *)
+  trace : Sim.Trace_gen.t Lazy.t; (* inlined program, trace input *)
+  original_trace : Sim.Trace_gen.t Lazy.t; (* pre-inlining program *)
+}
+
+type t = entry list
+
+let make_entry bench =
+  let pipeline =
+    lazy
+      (Placement.Pipeline.run
+         (Workloads.Bench.program bench)
+         ~inputs:(Workloads.Bench.profile_inputs bench))
+  in
+  let pipeline_noinline =
+    lazy
+      (Placement.Pipeline.run
+         ~config:{ Placement.Pipeline.default_config with do_inline = false }
+         (Workloads.Bench.program bench)
+         ~inputs:(Workloads.Bench.profile_inputs bench))
+  in
+  let trace =
+    lazy
+      (Sim.Trace_gen.record
+         (Lazy.force pipeline).Placement.Pipeline.program
+         (Workloads.Bench.trace_input bench))
+  in
+  let original_trace =
+    (* The pre-inlining program as the pipeline shipped it (i.e. after
+       the cleanup pass), so it matches original_map's labels. *)
+    lazy
+      (Sim.Trace_gen.record
+         (Lazy.force pipeline).Placement.Pipeline.original
+         (Workloads.Bench.trace_input bench))
+  in
+  { bench; pipeline; pipeline_noinline; trace; original_trace }
+
+let create ?names () =
+  let benches =
+    match names with
+    | None -> Workloads.Registry.all
+    | Some names -> List.map Workloads.Registry.find names
+  in
+  List.map make_entry benches
+
+let entries t = t
+
+let find t name =
+  match
+    List.find_opt (fun e -> e.bench.Workloads.Bench.name = name) t
+  with
+  | Some e -> e
+  | None -> raise (Workloads.Registry.Unknown_benchmark name)
+
+let name e = e.bench.Workloads.Bench.name
+let pipeline e = Lazy.force e.pipeline
+let pipeline_noinline e = Lazy.force e.pipeline_noinline
+let trace e = Lazy.force e.trace
+let original_trace e = Lazy.force e.original_trace
+let optimized_map e = (pipeline e).Placement.Pipeline.optimized
+let natural_map e = (pipeline e).Placement.Pipeline.natural
+
+(* Natural layout of the original (pre-inlining) program: the fully
+   unoptimized baseline. *)
+let original_map e =
+  Placement.Address_map.natural (pipeline e).Placement.Pipeline.original
+
+(* Pettis-Hansen layout of the inlined program, for the layout-algorithm
+   comparison experiment. *)
+let ph_map e =
+  let p = pipeline e in
+  let program = p.Placement.Pipeline.program in
+  let layouts =
+    Array.mapi
+      (fun fid f ->
+        Placement.Ph_layout.layout f
+          (Placement.Weight.cfg_of_profile p.Placement.Pipeline.profile fid))
+      program.Ir.Prog.funcs
+  in
+  let order =
+    Placement.Ph_layout.global
+      (Array.length program.Ir.Prog.funcs)
+      ~entry:program.Ir.Prog.entry
+      (Placement.Weight.call_of_profile p.Placement.Pipeline.profile)
+  in
+  Placement.Address_map.build program ~layouts ~order
+
+(* Address map for the code-scaling experiment (Table 9): the inlined
+   program with every block size scaled, laid out with the same trace
+   selection and orderings (weights are size-independent).  The recorded
+   block trace replays unchanged; only addresses and fetch counts move. *)
+let scaled_map e factor =
+  let p = pipeline e in
+  if factor = 1.0 then p.Placement.Pipeline.optimized
+  else begin
+    let scaled = Ir.Prog.scale_code factor p.Placement.Pipeline.program in
+    let layouts =
+      Array.mapi
+        (fun fid f ->
+          Placement.Func_layout.layout f
+            (Placement.Weight.cfg_of_profile p.Placement.Pipeline.profile fid)
+            p.Placement.Pipeline.selections.(fid))
+        scaled.Ir.Prog.funcs
+    in
+    Placement.Address_map.build scaled ~layouts
+      ~order:p.Placement.Pipeline.global
+  end

@@ -1,0 +1,42 @@
+(** Shared experiment context: per benchmark, the placement pipeline, the
+    recorded traces and derived address maps — computed lazily and at most
+    once, since every table draws on the same artifacts. *)
+
+type entry = {
+  bench : Workloads.Bench.t;
+  pipeline : Placement.Pipeline.t Lazy.t;
+  pipeline_noinline : Placement.Pipeline.t Lazy.t;
+  trace : Sim.Trace_gen.t Lazy.t;
+  original_trace : Sim.Trace_gen.t Lazy.t;
+}
+
+type t = entry list
+
+val create : ?names:string list -> unit -> t
+(** Default: the full ten-benchmark suite. *)
+
+val entries : t -> entry list
+
+val find : t -> string -> entry
+(** Raises [Workloads.Registry.Unknown_benchmark]. *)
+
+val name : entry -> string
+val pipeline : entry -> Placement.Pipeline.t
+val pipeline_noinline : entry -> Placement.Pipeline.t
+val trace : entry -> Sim.Trace_gen.t
+val original_trace : entry -> Sim.Trace_gen.t
+val optimized_map : entry -> Placement.Address_map.t
+val natural_map : entry -> Placement.Address_map.t
+
+val original_map : entry -> Placement.Address_map.t
+(** Natural layout of the pre-inlining program: the fully unoptimized
+    baseline. *)
+
+val ph_map : entry -> Placement.Address_map.t
+(** Pettis-Hansen layout of the inlined program, for the layout-algorithm
+    comparison. *)
+
+val scaled_map : entry -> float -> Placement.Address_map.t
+(** Address map for the code-scaling experiment (Table 9): the inlined
+    program scaled by the factor and re-laid-out with the same trace
+    selection and orderings. *)

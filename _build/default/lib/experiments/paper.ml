@@ -1,0 +1,212 @@
+(* Published numbers from the paper, for side-by-side comparison with our
+   measurements (EXPERIMENTS.md records both).
+
+   Transcription note: the available copy of the paper has OCR artifacts
+   in some table cells (rotated percent cells such as "%66" for "99%",
+   digit swaps 6<->9).  Cells we could not read with confidence are
+   [None].  All values are from Hwu & Chang, ISCA 1989. *)
+
+let benchmarks =
+  [ "cccp"; "cmp"; "compress"; "grep"; "lex"; "make"; "tee"; "tar"; "wc"; "yacc" ]
+
+(* Table 1: Smith's design-target miss ratios for fully associative
+   instruction caches, by cache size and block size (percent). *)
+let table1_cache_sizes = [ 512; 1024; 2048; 4096 ]
+let table1_block_sizes = [ 16; 32; 64; 128 ]
+
+let table1 =
+  [
+    (512, [ 23.0; 15.9; 11.9; 10.8 ]);
+    (1024, [ 20.0; 13.4; 9.8; 8.4 ]);
+    (2048, [ 15.0; 9.8; 6.8; 5.7 ]);
+    (4096, [ 10.0; 6.3; 4.3; 3.2 ]);
+  ]
+
+let smith_miss_ratio ~cache_size ~block_size =
+  match List.assoc_opt cache_size table1 with
+  | None -> None
+  | Some row ->
+    let rec nth bs row =
+      match (bs, row) with
+      | b :: _, m :: _ when b = block_size -> Some (m /. 100.)
+      | _ :: bs, _ :: row -> nth bs row
+      | _, _ -> None
+    in
+    nth table1_block_sizes row
+
+(* Table 2: benchmark characteristics.  (name, C lines, runs,
+   dynamic instructions, control transfers, input description) *)
+type table2_row = {
+  t2_name : string;
+  t2_c_lines : int;
+  t2_runs : int;
+  t2_instructions : float; (* millions *)
+  t2_control : float; (* millions *)
+  t2_inputs : string;
+}
+
+let table2 =
+  [
+    { t2_name = "cccp"; t2_c_lines = 4660; t2_runs = 8; t2_instructions = 11.7; t2_control = 2.2; t2_inputs = "C programs (100-3000 lines)" };
+    { t2_name = "cmp"; t2_c_lines = 371; t2_runs = 16; t2_instructions = 2.2; t2_control = 0.5; t2_inputs = "similar/dissimilar text files" };
+    { t2_name = "compress"; t2_c_lines = 1941; t2_runs = 8; t2_instructions = 19.6; t2_control = 3.1; t2_inputs = "same as cccp" };
+    { t2_name = "grep"; t2_c_lines = 1302; t2_runs = 8; t2_instructions = 47.1; t2_control = 17.1; t2_inputs = "exercised various options" };
+    { t2_name = "lex"; t2_c_lines = 3251; t2_runs = 4; t2_instructions = 3052.6; t2_control = 1125.9; t2_inputs = "lexers for C, Lisp, awk, and pic" };
+    { t2_name = "make"; t2_c_lines = 7043; t2_runs = 20; t2_instructions = 152.6; t2_control = 32.4; t2_inputs = "makefiles for cccp, compress, etc." };
+    { t2_name = "tee"; t2_c_lines = 1063; t2_runs = 28; t2_instructions = 0.43; t2_control = 0.17; t2_inputs = "text files (100-3000 lines)" };
+    { t2_name = "tar"; t2_c_lines = 3186; t2_runs = 14; t2_instructions = 11.0; t2_control = 1.5; t2_inputs = "save/extract files" };
+    { t2_name = "wc"; t2_c_lines = 345; t2_runs = 8; t2_instructions = 7.8; t2_control = 2.2; t2_inputs = "same as cccp" };
+    { t2_name = "yacc"; t2_c_lines = 3333; t2_runs = 8; t2_instructions = 313.4; t2_control = 78.7; t2_inputs = "grammar for a C compiler, etc." };
+  ]
+
+(* Table 3: inline expansion.  (code increase %, dynamic calls eliminated
+   %, dynamic instructions per call, control transfers per call) *)
+type table3_row = {
+  t3_name : string;
+  t3_code_inc : float option;
+  t3_call_dec : float option;
+  t3_di_per_call : int option;
+  t3_ct_per_call : int option;
+}
+
+let t3 name code_inc call_dec di ct =
+  { t3_name = name; t3_code_inc = code_inc; t3_call_dec = call_dec;
+    t3_di_per_call = di; t3_ct_per_call = ct }
+
+let table3 =
+  [
+    t3 "cccp" (Some 17.) (Some 25.) (Some 206) (Some 95);
+    t3 "cmp" (Some 3.) (Some 46.) (Some 265) (Some 58);
+    t3 "compress" (Some 4.) (Some 91.) (Some 2324) (Some 368);
+    t3 "grep" (Some 31.) (Some 99.) (Some 11214) (Some 4071);
+    t3 "lex" (Some 23.) (Some 77.) (Some 7807) (Some 2880);
+    t3 "make" (Some 34.) (Some 89.) (Some 388) (Some 82);
+    t3 "tee" (Some 0.) (Some 0.) (Some 15) (Some 9);
+    t3 "tar" (Some 16.) (Some 43.) (Some 983) (Some 127);
+    t3 "wc" (Some 0.) (Some 0.) (Some 18310) (Some 5146);
+    t3 "yacc" (Some 24.) (Some 80.) (Some 1205) (Some 303);
+  ]
+
+(* Table 4: trace selection.  (neutral %, undesirable %, desirable %,
+   mean basic blocks per trace) *)
+type table4_row = {
+  t4_name : string;
+  t4_neutral : float;
+  t4_undesirable : float;
+  t4_desirable : float;
+  t4_trace_length : float;
+}
+
+let t4 name neutral undesirable desirable len =
+  { t4_name = name; t4_neutral = neutral; t4_undesirable = undesirable;
+    t4_desirable = desirable; t4_trace_length = len }
+
+let table4 =
+  [
+    t4 "cccp" 55.23 3.74 41.05 1.8;
+    t4 "cmp" 12.74 4.23 83.03 6.9;
+    t4 "compress" 35.04 3.15 61.85 2.8;
+    t4 "grep" 20.96 1.80 77.24 4.7;
+    t4 "lex" 35.02 1.79 63.19 2.8;
+    t4 "make" 23.93 2.08 43.99 1.8;
+    t4 "tar" 86.85 0.38 12.77 1.2;
+    t4 "tee" 24.17 0.24 75.00 4.0;
+    t4 "wc" 15.09 9.02 75.88 5.5;
+    t4 "yacc" 49.13 4.62 46.25 2.0;
+  ]
+
+(* Table 5: the paper reports total static program sizes of 2.8K-55K bytes
+   and effective static sizes of 2K-34K bytes; the row-to-benchmark
+   mapping is not recoverable from our copy (scrambled table), so we keep
+   only the ranges. *)
+let table5_total_range = (2_800, 55_000)
+let table5_effective_range = (2_000, 34_000)
+
+(* Tables 6/7/9 entries: (miss %, traffic %). *)
+type mt = float * float
+
+(* Table 6: direct-mapped, 64-byte blocks; cache size sweep.
+   Columns: 8K, 4K, 2K, 1K, 0.5K. *)
+let table6_sizes = [ 8192; 4096; 2048; 1024; 512 ]
+
+let table6 : (string * mt list) list =
+  [
+    ("cccp", [ (0.86, 13.79); (1.53, 24.40); (2.70, 43.13); (3.52, 56.32); (4.24, 61.81) ]);
+    ("cmp", [ (0.01, 0.15); (0.01, 0.15); (0.01, 0.15); (0.01, 0.15); (0.01, 0.17) ]);
+    ("compress", [ (0.00, 0.07); (0.00, 0.08); (0.01, 0.08); (0.01, 0.09); (3.54, 56.63) ]);
+    ("grep", [ (0.06, 0.88); (0.06, 0.91); (0.06, 0.87); (0.07, 1.11); (0.60, 9.62) ]);
+    ("lex", [ (0.01, 0.09); (0.01, 0.21); (0.03, 0.48); (0.06, 0.93); (0.31, 4.96) ]);
+    ("make", [ (0.32, 5.06); (0.69, 11.10); (1.35, 21.59); (2.03, 32.46); (2.44, 39.02) ]);
+    ("tar", [ (0.09, 1.51); (0.24, 3.88); (0.27, 4.27); (0.42, 6.76); (0.61, 9.79) ]);
+    ("tee", [ (0.06, 0.92); (0.06, 0.92); (0.08, 1.20); (0.08, 1.28); (0.08, 1.33) ]);
+    ("wc", [ (0.00, 0.06); (0.00, 0.06); (0.00, 0.06); (0.00, 0.06); (0.00, 0.06) ]);
+    ("yacc", [ (0.02, 0.28); (0.23, 3.64); (0.49, 7.86); (1.17, 18.73); (1.99, 31.89) ]);
+  ]
+
+(* Table 7: direct-mapped, 2048-byte cache; block size sweep.
+   Columns: 16B, 32B, 64B, 128B. *)
+let table7_blocks = [ 16; 32; 64; 128 ]
+
+let table7 : (string * mt list) list =
+  [
+    ("cccp", [ (7.53, 30.10); (4.32, 34.58); (2.70, 43.13); (2.10, 67.33) ]);
+    ("cmp", [ (0.04, 0.15); (0.02, 0.15); (0.01, 0.15); (0.01, 0.16) ]);
+    ("compress", [ (0.02, 0.07); (0.01, 0.08); (0.01, 0.08); (0.00, 0.09) ]);
+    ("grep", [ (0.19, 0.76); (0.10, 0.82); (0.06, 0.91); (0.03, 1.01) ]);
+    ("lex", [ (0.08, 0.33); (0.05, 0.38); (0.03, 0.48); (0.02, 0.69) ]);
+    ("make", [ (4.24, 16.95); (2.40, 19.19); (1.35, 21.59); (0.95, 30.39) ]);
+    ("tar", [ (0.72, 2.90); (0.42, 3.32); (0.27, 4.27); (0.20, 6.37) ]);
+    ("tee", [ (0.25, 0.98); (0.13, 1.06); (0.08, 1.20); (0.04, 1.41) ]);
+    ("wc", [ (0.01, 0.06); (0.01, 0.06); (0.00, 0.06); (0.00, 0.06) ]);
+    ("yacc", [ (1.13, 4.53); (0.66, 5.25); (0.49, 7.86); (0.52, 16.78) ]);
+  ]
+
+(* Table 8: 2048-byte cache, 64-byte blocks.  Sectored (8-byte sectors):
+   miss %, traffic %.  Partial loading: miss %, traffic %, avg.fetch
+   (4-byte entities per miss), avg.exec (consecutive instructions from a
+   miss to a taken branch or the next miss). *)
+type table8_row = {
+  t8_name : string;
+  t8_sector : mt;
+  t8_partial : mt;
+  t8_avg_fetch : float option;
+  t8_avg_exec : float option;
+}
+
+let t8 name sector partial avg_fetch avg_exec =
+  { t8_name = name; t8_sector = sector; t8_partial = partial;
+    t8_avg_fetch = avg_fetch; t8_avg_exec = avg_exec }
+
+let table8 =
+  [
+    t8 "cccp" (13.88, 27.76) (2.86, 33.78) (Some 11.8) (Some 8.2);
+    t8 "cmp" (0.33, 0.65) (0.05, 0.66) (Some 14.2) (Some 12.3);
+    t8 "compress" (0.47, 0.94) (0.07, 0.99) (Some 13.9) (Some 12.0);
+    t8 "grep" (0.11, 0.21) (0.02, 0.24) (Some 12.6) (Some 9.9);
+    t8 "lex" (0.18, 0.35) (0.04, 0.41) (Some 11.1) (Some 7.8);
+    t8 "make" (8.82, 17.64) (1.52, 19.77) None (Some 10.1);
+    t8 "tar" (1.62, 3.25) (0.28, 3.55) (Some 12.8) (Some 12.2);
+    t8 "tee" (1.31, 2.62) (0.21, 3.00) (Some 14.0) (Some 9.9);
+    t8 "wc" (0.16, 0.33) (0.02, 0.33) (Some 14.9) (Some 12.7);
+    t8 "yacc" (2.79, 5.57) (0.55, 7.13) (Some 13.1) (Some 9.0);
+  ]
+
+(* Table 9: 2048-byte cache, 64-byte blocks, partial loading, after code
+   scaling.  Columns: x0.5, x0.7, x1.0, x1.1. *)
+let table9_factors = [ 0.5; 0.7; 1.0; 1.1 ]
+
+let table9 : (string * mt list) list =
+  [
+    ("cccp", [ (2.60, 25.88); (3.02, 31.02); (2.86, 33.78); (3.21, 36.73) ]);
+    ("cmp", [ (0.06, 0.77); (0.05, 0.75); (0.05, 0.66); (0.05, 0.70) ]);
+    ("compress", [ (0.08, 1.05); (0.07, 1.00); (0.07, 0.99); (0.07, 1.02) ]);
+    ("grep", [ (0.03, 0.31); (0.02, 0.27); (0.02, 0.24); (0.02, 0.25) ]);
+    ("lex", [ (0.02, 0.21); (0.03, 0.32); (0.04, 0.41); (0.04, 0.41) ]);
+    ("make", [ (1.26, 13.75); (1.57, 18.22); (1.52, 19.77); (1.78, 23.10) ]);
+    ("tar", [ (0.32, 4.30); (0.27, 3.16); (0.28, 3.55); (0.32, 4.09) ]);
+    ("tee", [ (0.24, 2.97); (0.24, 2.99); (0.21, 3.00); (0.23, 2.95) ]);
+    ("wc", [ (0.02, 0.37); (0.02, 0.36); (0.02, 0.34); (0.02, 0.36) ]);
+    ("yacc", [ (0.65, 5.81); (0.64, 6.75); (0.55, 7.13); (0.42, 4.68) ]);
+  ]
+
+let lookup_mt table name = List.assoc_opt name table

@@ -1,0 +1,40 @@
+(* Run every experiment in paper order. *)
+
+type spec = {
+  id : string;
+  title : string;
+  table : Context.t -> Report.Table.t;
+}
+
+let all : spec list =
+  [
+    { id = "1"; title = "Smith design targets"; table = (fun _ -> Table1.table ()) };
+    { id = "2"; title = "Profile results"; table = Table2.table };
+    { id = "3"; title = "Inline expansion"; table = Table3.table };
+    { id = "4"; title = "Trace selection"; table = Table4.table };
+    { id = "5"; title = "Static/dynamic code sizes"; table = Table5.table };
+    { id = "6"; title = "Cache size sweep"; table = Table6.table };
+    { id = "7"; title = "Block size sweep"; table = Table7.table };
+    { id = "8"; title = "Sectoring and partial loading"; table = Table8.table };
+    { id = "9"; title = "Code scaling"; table = Table9.table };
+    { id = "10"; title = "Comparison with previous results"; table = Comparison.table };
+    { id = "11"; title = "Miss-penalty timing ablation"; table = Timing_exp.table };
+    { id = "12"; title = "Inline-vs-layout ablation"; table = Ablation.table };
+    { id = "13"; title = "Instruction paging"; table = Paging_exp.table };
+    { id = "14"; title = "Analytical estimation vs simulation"; table = Estimate_exp.table };
+    { id = "15"; title = "Associativity sweep"; table = Assoc_exp.table };
+    { id = "16"; title = "Next-line prefetch ablation"; table = Prefetch_exp.table };
+    { id = "17"; title = "IMPACT vs Pettis-Hansen layout"; table = Ph_exp.table };
+  ]
+
+exception Unknown_experiment of string
+
+let find id =
+  match List.find_opt (fun s -> s.id = id) all with
+  | Some s -> s
+  | None -> raise (Unknown_experiment id)
+
+let run_one ctx spec = Report.Table.render (spec.table ctx)
+
+let run_all ctx =
+  String.concat "\n" (List.map (fun spec -> run_one ctx spec) all)

@@ -1,0 +1,15 @@
+(** Experiment registry: every table of the paper's evaluation plus the
+    extra ablations, in paper order. *)
+
+type spec = {
+  id : string;  (** table/figure identifier, "1" .. "12" *)
+  title : string;
+  table : Context.t -> Report.Table.t;
+}
+
+exception Unknown_experiment of string
+
+val all : spec list
+val find : string -> spec
+val run_one : Context.t -> spec -> string
+val run_all : Context.t -> string

@@ -1,0 +1,18 @@
+(* E1 / Table 1: Smith's design-target miss ratios for fully associative
+   instruction caches — the baseline the paper (and we) compare against.
+   These are published constants; our measured fully-associative baseline
+   appears in the Comparison experiment. *)
+
+let table () =
+  let rows =
+    List.map
+      (fun (size, misses) ->
+        string_of_int size :: List.map (fun m -> Printf.sprintf "%.1f%%" m) misses)
+      Paper.table1
+  in
+  Report.Table.make
+    ~title:
+      "Table 1: design-target miss ratios (Smith, fully associative), by \
+       cache size (rows, bytes) and block size (columns)"
+    ~header:[ "cache"; "16B"; "32B"; "64B"; "128B" ]
+    rows

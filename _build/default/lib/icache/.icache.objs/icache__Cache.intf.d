@@ -1,0 +1,1 @@
+lib/icache/cache.mli: Config

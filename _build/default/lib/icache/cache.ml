@@ -1,0 +1,225 @@
+(* Unified instruction-cache simulator.
+
+   One engine covers the paper's whole design space: direct-mapped, N-way
+   and fully associative (LRU replacement), with whole-block fill, block
+   sectoring, or partial loading.  Validity is tracked per granule: the
+   whole block (Whole), a sector (Sectored), or a word (Partial).
+
+   Metrics follow the paper's definitions:
+   - miss ratio    = misses / instruction fetches;
+   - traffic ratio = 4-byte bus words transferred / instruction fetches
+     (each instruction fetch is itself one 4-byte access, so a full 64-byte
+     fill is 16 bus accesses — reproducing e.g. cccp's 2.70% miss / 43.13%
+     traffic arithmetic). *)
+
+type outcome = {
+  miss : bool;
+  fetched_words : int; (* bus words transferred for this access *)
+  word_in_block : int; (* word offset of the access within its block *)
+}
+
+type t = {
+  cfg : Config.t;
+  nsets : int;
+  ways : int;
+  granules : int; (* granules per block *)
+  words_per_granule : int;
+  tags : int array; (* frame -> tag, -1 when empty *)
+  valid : Bytes.t; (* frame * granules + granule -> 0/1 *)
+  lru : int array; (* frame -> last-touch clock *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+  mutable words_fetched : int;
+  mutable prefetches : int; (* next-line prefetch fills issued *)
+}
+
+let create cfg =
+  Config.validate cfg;
+  let nsets = Config.nsets cfg in
+  let ways = Config.ways_of cfg in
+  let granules = Config.granules_per_block cfg in
+  let frames = nsets * ways in
+  {
+    cfg;
+    nsets;
+    ways;
+    granules;
+    words_per_granule = Config.granule_bytes cfg / Config.word_bytes;
+    tags = Array.make frames (-1);
+    valid = Bytes.make (frames * granules) '\000';
+    lru = Array.make frames 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+    words_fetched = 0;
+    prefetches = 0;
+  }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Bytes.fill t.valid 0 (Bytes.length t.valid) '\000';
+  Array.fill t.lru 0 (Array.length t.lru) 0;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.misses <- 0;
+  t.words_fetched <- 0;
+  t.prefetches <- 0
+
+let granule_valid t frame granule =
+  Bytes.unsafe_get t.valid ((frame * t.granules) + granule) <> '\000'
+
+let set_granule t frame granule =
+  Bytes.unsafe_set t.valid ((frame * t.granules) + granule) '\001'
+
+let clear_granules t frame =
+  Bytes.fill t.valid (frame * t.granules) t.granules '\000'
+
+(* Fetch policy on a miss in [frame] at [granule]: how many granules to
+   bring in, starting where. *)
+let fill t frame granule =
+  match t.cfg.Config.fill with
+  | Config.Whole ->
+    (* granules = 1 for whole-block fill *)
+    set_granule t frame 0;
+    Config.words_per_block t.cfg
+  | Config.Sectored _ ->
+    set_granule t frame granule;
+    t.words_per_granule
+  | Config.Partial ->
+    (* Load from the accessed word to the end of the block or up to a
+       valid entry previously loaded in (paper §4.2.2). *)
+    let g = ref granule in
+    let fetched = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !g < t.granules do
+      if granule_valid t frame !g then stop := true
+      else begin
+        set_granule t frame !g;
+        incr fetched;
+        incr g
+      end
+    done;
+    !fetched * t.words_per_granule
+
+(* Next-line tagged prefetch: on a miss to block n, also fill block n+1
+   if it is absent.  The fill transfers a whole block (counted as traffic
+   but not as a miss) and inserts at MRU. *)
+let prefetch_next t block_no =
+  let nb = block_no + 1 in
+  let set = nb mod t.nsets in
+  let tag = nb / t.nsets in
+  let base = set * t.ways in
+  let present = ref false in
+  for i = 0 to t.ways - 1 do
+    if t.tags.(base + i) = tag then present := true
+  done;
+  if not !present then begin
+    let victim = ref (base + 0) in
+    (try
+       for i = 0 to t.ways - 1 do
+         if t.tags.(base + i) = -1 then begin
+           victim := base + i;
+           raise Exit
+         end;
+         if t.lru.(base + i) < t.lru.(!victim) then victim := base + i
+       done
+     with Exit -> ());
+    let frame = !victim in
+    t.tags.(frame) <- tag;
+    clear_granules t frame;
+    set_granule t frame 0;
+    t.lru.(frame) <- t.clock;
+    t.words_fetched <- t.words_fetched + Config.words_per_block t.cfg;
+    t.prefetches <- t.prefetches + 1
+  end
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let block_no = addr / t.cfg.Config.block in
+  let set = block_no mod t.nsets in
+  let tag = block_no / t.nsets in
+  let offset = addr mod t.cfg.Config.block in
+  let granule = offset / Config.granule_bytes t.cfg in
+  let word_in_block = offset / Config.word_bytes in
+  let base = set * t.ways in
+  (* Search the set for a tag match. *)
+  let way = ref (-1) in
+  (try
+     for i = 0 to t.ways - 1 do
+       if t.tags.(base + i) = tag then begin
+         way := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !way >= 0 then begin
+    let frame = base + !way in
+    t.lru.(frame) <- t.clock;
+    if granule_valid t frame granule then
+      { miss = false; fetched_words = 0; word_in_block }
+    else begin
+      (* Tag present but granule absent: sector/partial miss. *)
+      t.misses <- t.misses + 1;
+      let w = fill t frame granule in
+      t.words_fetched <- t.words_fetched + w;
+      { miss = true; fetched_words = w; word_in_block }
+    end
+  end
+  else begin
+    (* Full miss: victimize an empty frame or the LRU one. *)
+    t.misses <- t.misses + 1;
+    let victim = ref (base + 0) in
+    (try
+       for i = 0 to t.ways - 1 do
+         if t.tags.(base + i) = -1 then begin
+           victim := base + i;
+           raise Exit
+         end;
+         if t.lru.(base + i) < t.lru.(!victim) then victim := base + i
+       done
+     with Exit -> ());
+    let frame = !victim in
+    t.tags.(frame) <- tag;
+    clear_granules t frame;
+    t.lru.(frame) <- t.clock;
+    let w = fill t frame granule in
+    t.words_fetched <- t.words_fetched + w;
+    if t.cfg.Config.prefetch then prefetch_next t block_no;
+    { miss = true; fetched_words = w; word_in_block }
+  end
+
+let miss_ratio t =
+  if t.accesses = 0 then 0.
+  else float_of_int t.misses /. float_of_int t.accesses
+
+let traffic_ratio t =
+  if t.accesses = 0 then 0.
+  else float_of_int t.words_fetched /. float_of_int t.accesses
+
+let avg_fetch_words t =
+  if t.misses = 0 then 0.
+  else float_of_int t.words_fetched /. float_of_int t.misses
+
+(* Tag storage overhead in bytes, assuming 4 bytes of tag space per block
+   as in the paper's 3%-of-data-store estimate. *)
+let tag_bytes t = t.nsets * t.ways * 4
+
+let accesses t = t.accesses
+let misses t = t.misses
+let words_fetched t = t.words_fetched
+let prefetches t = t.prefetches
+
+(* Internal consistency (used by property tests): a frame with an invalid
+   tag has no valid granules. *)
+let invariant t =
+  let ok = ref true in
+  Array.iteri
+    (fun frame tag ->
+      if tag = -1 then
+        for granule = 0 to t.granules - 1 do
+          if granule_valid t frame granule then ok := false
+        done)
+    t.tags;
+  !ok

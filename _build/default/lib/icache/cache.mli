@@ -1,0 +1,40 @@
+(** Unified instruction-cache simulator: direct-mapped, N-way and fully
+    associative (LRU), with whole-block fill, block sectoring, or partial
+    loading.
+
+    Metric definitions follow the paper: miss ratio = misses / fetches;
+    traffic ratio = 4-byte bus words transferred / fetches. *)
+
+type outcome = {
+  miss : bool;
+  fetched_words : int;  (** bus words transferred by this access *)
+  word_in_block : int;  (** word offset of the access within its block *)
+}
+
+type t
+
+val create : Config.t -> t
+(** Raises {!Config.Invalid} on a bad configuration. *)
+
+val reset : t -> unit
+
+val access : t -> int -> outcome
+(** Simulate one instruction fetch at a byte address. *)
+
+val miss_ratio : t -> float
+val traffic_ratio : t -> float
+val avg_fetch_words : t -> float
+(** Mean bus words per miss — Table 8's [avg.fetch] column. *)
+
+val tag_bytes : t -> int
+(** Tag storage, at 4 bytes per block frame (paper's overhead estimate). *)
+
+val invariant : t -> bool
+(** Internal consistency, for property tests. *)
+
+val accesses : t -> int
+val misses : t -> int
+val words_fetched : t -> int
+
+val prefetches : t -> int
+(** Next-line prefetch fills issued (when the config enables prefetch). *)

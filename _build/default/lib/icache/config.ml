@@ -1,0 +1,80 @@
+(* Instruction cache geometry and fill policy. *)
+
+type assoc =
+  | Direct
+  | Ways of int
+  | Full
+
+type fill =
+  | Whole (* fetch the entire missing block *)
+  | Sectored of int (* valid bit per sector; fetch only the sector *)
+  | Partial (* valid bit per word; fetch from the miss to end/valid *)
+
+type t = {
+  size : int;
+  block : int;
+  assoc : assoc;
+  fill : fill;
+  prefetch : bool; (* next-line tagged prefetch on miss (Whole fill only) *)
+}
+
+let word_bytes = 4
+
+let ways_of t =
+  match t.assoc with
+  | Direct -> 1
+  | Ways n -> n
+  | Full -> t.size / t.block
+
+let nsets t = t.size / (t.block * ways_of t)
+
+let granule_bytes t =
+  match t.fill with
+  | Whole -> t.block
+  | Sectored s -> s
+  | Partial -> word_bytes
+
+let granules_per_block t = t.block / granule_bytes t
+let words_per_block t = t.block / word_bytes
+
+exception Invalid of string
+
+let validate t =
+  let fail fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt in
+  if t.size <= 0 || t.block <= 0 then fail "non-positive size or block";
+  if t.block mod word_bytes <> 0 then fail "block not a multiple of %d" word_bytes;
+  if t.size mod t.block <> 0 then fail "size %d not a multiple of block %d" t.size t.block;
+  (match t.assoc with
+  | Ways n when n <= 0 -> fail "non-positive associativity"
+  | Ways n when t.size mod (t.block * n) <> 0 ->
+    fail "size not divisible by block*ways"
+  | Direct | Ways _ | Full -> ());
+  (match t.fill with
+  | Sectored s when s <= 0 || s mod word_bytes <> 0 || t.block mod s <> 0 ->
+    fail "invalid sector size %d" s
+  | Whole | Sectored _ | Partial -> ());
+  (match (t.prefetch, t.fill) with
+  | true, (Sectored _ | Partial) -> fail "prefetch requires whole-block fill"
+  | (true | false), _ -> ());
+  if nsets t < 1 then fail "fewer than one set"
+
+let make ?(assoc = Direct) ?(fill = Whole) ?(prefetch = false) ~size ~block
+    () =
+  let t = { size; block; assoc; fill; prefetch } in
+  validate t;
+  t
+
+let assoc_name = function
+  | Direct -> "direct"
+  | Ways n -> string_of_int n ^ "-way"
+  | Full -> "full"
+
+let fill_name = function
+  | Whole -> "whole"
+  | Sectored s -> Printf.sprintf "sectored(%dB)" s
+  | Partial -> "partial"
+
+let describe t =
+  Printf.sprintf "%dB/%dB %s %s%s" t.size t.block (assoc_name t.assoc)
+    (fill_name t.fill)
+    (if t.prefetch then " +prefetch" else "")

@@ -1,0 +1,45 @@
+(** Instruction cache geometry and fill policy. *)
+
+type assoc =
+  | Direct
+  | Ways of int
+  | Full
+
+type fill =
+  | Whole  (** fetch the entire missing block *)
+  | Sectored of int  (** valid bit per sector; fetch only the sector *)
+  | Partial
+      (** valid bit per word; fetch from the missed word to the end of the
+          block or the first already-valid word (paper §4.2.2) *)
+
+type t = {
+  size : int;
+  block : int;
+  assoc : assoc;
+  fill : fill;
+  prefetch : bool;
+      (** next-line tagged prefetch on miss; requires whole-block fill *)
+}
+
+exception Invalid of string
+
+val word_bytes : int
+(** Memory bus width and instruction width: 4 bytes. *)
+
+val make :
+  ?assoc:assoc ->
+  ?fill:fill ->
+  ?prefetch:bool ->
+  size:int ->
+  block:int ->
+  unit ->
+  t
+(** Validated constructor; raises {!Invalid}. *)
+
+val validate : t -> unit
+val ways_of : t -> int
+val nsets : t -> int
+val granule_bytes : t -> int
+val granules_per_block : t -> int
+val words_per_block : t -> int
+val describe : t -> string

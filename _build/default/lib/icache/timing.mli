@@ -1,0 +1,45 @@
+(** Miss-penalty timing model (paper §4.2.1): interleaved memory
+    delivering one 4-byte word per cycle after an initial latency, with
+    blocking, streaming (load forwarding + early continuation), or
+    streaming-over-partial-load refill disciplines. *)
+
+type policy =
+  | Blocking
+  | Streaming
+  | Streaming_partial
+
+type model = { hit_cycles : int; mem_latency : int }
+
+val default_model : model
+(** 1-cycle hits, 10-cycle initial memory latency. *)
+
+val miss_stall :
+  model ->
+  policy ->
+  words_per_block:int ->
+  word_in_block:int ->
+  run_words:int ->
+  fetched_words:int ->
+  int
+(** Stall cycles beyond the hit time for one miss.  [run_words] is the
+    number of consecutive sequential words consumed after the miss before
+    a taken branch or the next miss. *)
+
+type t
+
+val create : ?model:model -> policy -> t
+val on_hit : t -> unit
+
+val on_miss :
+  t ->
+  words_per_block:int ->
+  word_in_block:int ->
+  run_words:int ->
+  fetched_words:int ->
+  unit
+
+val effective_access_time : t -> float
+(** Mean cycles per instruction fetch. *)
+
+val avg_stall_per_miss : t -> float
+val policy_name : policy -> string

@@ -1,0 +1,1 @@
+lib/ir/callgraph.ml: Array Cfg List Prog

@@ -1,0 +1,1 @@
+lib/ir/check.ml: Array Bytes Cfg Fmt Hashtbl List Prog

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Ast Bytes Cfg Fmt Hashtbl Insn Int32 List Prog

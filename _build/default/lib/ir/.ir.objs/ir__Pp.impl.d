@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Array Cfg Fmt Insn Prog

@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Array Bytes Cfg Float Hashtbl Insn

@@ -1,0 +1,1 @@
+lib/ir/simplify.ml: Array Cfg Insn List Prog

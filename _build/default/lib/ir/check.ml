@@ -1,0 +1,50 @@
+(* Structural validation of lowered programs.  Run after lowering and
+   after every program transformation (inlining, scaling) in tests. *)
+
+exception Invalid of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+let check_func (p : Prog.program) (f : Prog.func) =
+  let n = Array.length f.blocks in
+  if n = 0 then fail "%s: no blocks" f.name;
+  if f.nparams > f.nregs then
+    fail "%s: %d params but only %d regs" f.name f.nparams f.nregs;
+  Array.iteri
+    (fun l b ->
+      let check_label where l' =
+        if l' < 0 || l' >= n then
+          fail "%s: block %d %s references label %d outside [0,%d)" f.name l
+            where l' n
+      in
+      List.iter (check_label "terminator") (Cfg.successors b);
+      (match b.Cfg.term with
+      | Call { callee; ret_to; _ } ->
+        check_label "call continuation" ret_to;
+        if not (Hashtbl.mem p.by_name callee) then
+          fail "%s: block %d calls unknown function %s" f.name l callee
+      | Jump _ | Br _ | Switch _ | Ret _ -> ());
+      let max_reg = Cfg.max_reg_of_block b in
+      if max_reg >= f.nregs then
+        fail "%s: block %d uses register %d >= nregs %d" f.name l max_reg
+          f.nregs;
+      if Cfg.instr_count b < 1 then fail "%s: block %d has size < 1" f.name l)
+    f.blocks
+
+let check_data (p : Prog.program) =
+  List.iter
+    (fun (addr, image) ->
+      if addr < 0 then fail "data image at negative address %d" addr;
+      if addr + Bytes.length image > p.heap_base then
+        fail "data image at %d overruns heap base %d" addr p.heap_base)
+    p.data
+
+let program (p : Prog.program) =
+  if Array.length p.funcs = 0 then fail "program has no functions";
+  if p.entry < 0 || p.entry >= Array.length p.funcs then
+    fail "entry index %d out of range" p.entry;
+  Array.iter (check_func p) p.funcs;
+  check_data p
+
+let is_valid p =
+  match program p with () -> true | exception Invalid _ -> false

@@ -1,0 +1,9 @@
+(** Structural validation of lowered programs: label ranges, callee
+    resolution, register bounds, data-segment extents. *)
+
+exception Invalid of string
+
+val program : Prog.program -> unit
+(** Raises {!Invalid} describing the first violation found. *)
+
+val is_valid : Prog.program -> bool

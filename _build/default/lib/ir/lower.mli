@@ -1,0 +1,25 @@
+(** AST -> CFG lowering.
+
+    Translation invariants:
+    - every call terminates its basic block (explicit call arcs);
+    - short-circuit logicals and ternaries become branch diamonds;
+    - [switch] becomes a {!Cfg.term.Switch} terminator with C fall-through;
+    - dead statements (after [return]/[break]/[continue]) become real but
+      unreachable blocks, like dead code in a binary — these are exactly
+      the zero-weight blocks the layout algorithm pushes to the bottom. *)
+
+exception Lower_error of string
+
+val globals_base : int
+(** First address of the static data segment (addresses below it are
+    unmapped, so 0 acts as a null pointer). *)
+
+val program : Ast.program -> Prog.program
+(** Lower a whole program.  Raises {!Lower_error} on unbound variables,
+    unknown globals, or malformed control flow; raises
+    [Prog.Unknown_function] if the entry point is missing. *)
+
+val program_with_globals :
+  Ast.program -> Prog.program * (string, int) Hashtbl.t
+(** Same as {!program}, additionally returning the global name->address
+    table (useful in tests and examples). *)

@@ -1,0 +1,65 @@
+(* Pretty printing of the lowered IR, for debugging and examples. *)
+
+let operand ppf = function
+  | Insn.Reg r -> Fmt.pf ppf "r%d" r
+  | Insn.Imm n -> Fmt.pf ppf "%d" n
+
+let insn ppf = function
+  | Insn.Mov (d, o) -> Fmt.pf ppf "mov r%d, %a" d operand o
+  | Insn.Bin (op, d, a, b) ->
+    Fmt.pf ppf "%s r%d, %a, %a" (Insn.binop_name op) d operand a operand b
+  | Insn.Load8 (d, b, o) ->
+    Fmt.pf ppf "ld8 r%d, [%a + %a]" d operand b operand o
+  | Insn.Load32 (d, b, o) ->
+    Fmt.pf ppf "ld32 r%d, [%a + %a]" d operand b operand o
+  | Insn.Store8 (b, o, value) ->
+    Fmt.pf ppf "st8 [%a + %a], %a" operand b operand o operand value
+  | Insn.Store32 (b, o, value) ->
+    Fmt.pf ppf "st32 [%a + %a], %a" operand b operand o operand value
+  | Insn.Intrin (intr, dst, args) ->
+    let pp_dst ppf = function
+      | Some r -> Fmt.pf ppf "r%d <- " r
+      | None -> ()
+    in
+    Fmt.pf ppf "%a%s(%a)" pp_dst dst
+      (Insn.intrinsic_name intr)
+      Fmt.(list ~sep:(any ", ") operand)
+      args
+
+let term ppf = function
+  | Cfg.Jump l -> Fmt.pf ppf "jump L%d" l
+  | Cfg.Br (o, t, f) -> Fmt.pf ppf "br %a ? L%d : L%d" operand o t f
+  | Cfg.Switch (o, cases, d) ->
+    Fmt.pf ppf "switch %a [%a] default L%d" operand o
+      Fmt.(
+        array ~sep:(any "; ") (fun ppf (value, l) ->
+            Fmt.pf ppf "%d->L%d" value l))
+      cases d
+  | Cfg.Ret None -> Fmt.pf ppf "ret"
+  | Cfg.Ret (Some o) -> Fmt.pf ppf "ret %a" operand o
+  | Cfg.Call { callee; args; dst; ret_to } ->
+    let pp_dst ppf = function
+      | Some r -> Fmt.pf ppf "r%d <- " r
+      | None -> ()
+    in
+    Fmt.pf ppf "%acall %s(%a) then L%d" pp_dst dst callee
+      Fmt.(list ~sep:(any ", ") operand)
+      args ret_to
+
+let block ppf (l, b) =
+  Fmt.pf ppf "@[<v 2>L%d:  (%d insns)@,%a%a@]" l (Cfg.instr_count b)
+    Fmt.(array ~sep:nop (fun ppf it -> Fmt.pf ppf "%a@," insn it))
+    b.Cfg.insns term b.Cfg.term
+
+let func ppf (f : Prog.func) =
+  Fmt.pf ppf "@[<v 2>func %s (%d params, %d regs, %d blocks, %d insns)@,%a@]"
+    f.name f.nparams f.nregs (Array.length f.blocks)
+    (Prog.func_instr_count f)
+    Fmt.(array ~sep:cut block)
+    (Array.mapi (fun l b -> (l, b)) f.blocks)
+
+let program ppf (p : Prog.program) =
+  Fmt.pf ppf "@[<v>program (entry %s, %d functions, %d bytes)@,%a@]"
+    p.funcs.(p.entry).name (Array.length p.funcs) (Prog.total_byte_size p)
+    Fmt.(array ~sep:cut func)
+    p.funcs

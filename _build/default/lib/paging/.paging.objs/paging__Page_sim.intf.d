@@ -1,0 +1,1 @@
+lib/paging/page_sim.mli:

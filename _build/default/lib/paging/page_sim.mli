@@ -1,0 +1,34 @@
+(** Instruction paging simulation — the paper's §5 "continuing research"
+    direction: page faults and Denning working-set behavior of the
+    instruction stream.
+
+    Tracks simultaneously an unbounded-memory model (distinct pages
+    touched = compulsory faults) and a bounded-frame LRU model, and
+    samples the working set |W(t, theta)| periodically. *)
+
+type config = {
+  page_bytes : int;
+  frames : int;  (** bounded-memory frame count for the LRU model *)
+  theta : int;  (** working-set window, in accesses *)
+  sample_every : int;  (** working-set sampling period *)
+}
+
+val default_config : config
+(** 512-byte pages, 16 frames, theta = 10000, sampled every 1000. *)
+
+type t
+
+val create : config -> t
+(** Raises [Invalid_argument] on non-positive parameters. *)
+
+val access : t -> int -> unit
+(** Record one instruction fetch at a byte address. *)
+
+val accesses : t -> int
+val distinct_pages : t -> int
+(** Compulsory faults: the program's instruction footprint in pages. *)
+
+val lru_faults : t -> int
+val fault_rate : t -> float
+val mean_working_set : t -> float
+val max_working_set : t -> int

@@ -1,0 +1,73 @@
+(* ASCII charts for trend visualization in experiment output. *)
+
+(* Horizontal bar chart.  Values are scaled to the widest bar; each row
+   shows its label, bar and formatted value. *)
+let bars ?(width = 48) ?(format = fun v -> Printf.sprintf "%.3f" v) ~title
+    rows =
+  let buf = Buffer.create 512 in
+  if title <> "" then begin
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n'
+  end;
+  let label_width =
+    List.fold_left (fun acc (label, _) -> max acc (String.length label)) 0 rows
+  in
+  let peak = List.fold_left (fun acc (_, v) -> Float.max acc v) 0. rows in
+  List.iter
+    (fun (label, v) ->
+      let n =
+        if peak <= 0. then 0
+        else int_of_float (Float.round (float_of_int width *. v /. peak))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s |%s%s %s\n" label_width label
+           (String.concat "" (List.init n (fun _ -> "#")))
+           (String.make (width - n) ' ')
+           (format v)))
+    rows;
+  Buffer.contents buf
+
+(* Multi-series sparkline table: one line per series over shared x
+   labels, rendered with a small glyph ramp. *)
+let ramp = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '@' |]
+
+let sparklines ?(format = fun v -> Printf.sprintf "%.3f" v) ~title ~points
+    series =
+  let buf = Buffer.create 512 in
+  if title <> "" then begin
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n'
+  end;
+  let label_width =
+    List.fold_left (fun acc (label, _) -> max acc (String.length label)) 0
+      series
+  in
+  let peak =
+    List.fold_left
+      (fun acc (_, values) -> List.fold_left Float.max acc values)
+      0. series
+  in
+  List.iter
+    (fun (label, values) ->
+      let glyphs =
+        String.concat ""
+          (List.map
+             (fun v ->
+               let idx =
+                 if peak <= 0. then 0
+                 else
+                   int_of_float
+                     (Float.round (v /. peak *. float_of_int (Array.length ramp - 1)))
+               in
+               String.make 1 ramp.(max 0 (min (Array.length ramp - 1) idx)))
+             values)
+      in
+      let last = List.nth values (List.length values - 1) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s [%s] last %s\n" label_width label glyphs
+           (format last)))
+    series;
+  Buffer.add_string buf
+    (Printf.sprintf "  %-*s  points: %s\n" label_width ""
+       (String.concat " " points));
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** ASCII charts for trend visualization in experiment output. *)
+
+val bars :
+  ?width:int ->
+  ?format:(float -> string) ->
+  title:string ->
+  (string * float) list ->
+  string
+(** Horizontal bar chart scaled to the largest value. *)
+
+val sparklines :
+  ?format:(float -> string) ->
+  title:string ->
+  points:string list ->
+  (string * float list) list ->
+  string
+(** One glyph-ramp line per series over shared x points (the point labels
+    are listed in a legend line). *)

@@ -1,0 +1,17 @@
+(** Plain-text table rendering for experiment output. *)
+
+type align = L | R
+
+type t
+
+val make :
+  title:string ->
+  header:string list ->
+  ?align:align list ->
+  string list list ->
+  t
+(** Raises [Invalid_argument] when a row's width disagrees with the
+    header.  Default alignment is right for every column. *)
+
+val render : t -> string
+val print : t -> unit

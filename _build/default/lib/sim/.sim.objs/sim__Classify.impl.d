@@ -1,0 +1,1 @@
+lib/sim/classify.ml: Array Ir Placement Prog Vm

@@ -1,0 +1,1 @@
+lib/sim/classify.mli: Ir Placement Prog Vm

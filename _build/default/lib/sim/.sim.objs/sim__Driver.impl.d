@@ -1,0 +1,1 @@
+lib/sim/driver.ml: Icache List Placement Trace_gen

@@ -1,0 +1,1 @@
+lib/sim/driver.mli: Icache Placement Trace_gen

@@ -1,0 +1,1 @@
+lib/sim/estimate.ml: Array Hashtbl Icache List Placement Vm

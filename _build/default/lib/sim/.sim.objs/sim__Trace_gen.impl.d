@@ -1,0 +1,1 @@
+lib/sim/trace_gen.ml: Array Insn Ir Ivec Placement Prog Vm

@@ -1,0 +1,1 @@
+lib/sim/trace_gen.mli: Cfg Ir Ivec Placement Prog Vm

@@ -1,0 +1,77 @@
+(* Control-transfer classification against a trace selection (Table 4).
+
+   Every dynamic intra-function control transfer src -> dst is one of:
+   - desirable:   dst is src's immediate successor within the same trace
+                  (sequential locality fully preserved);
+   - neutral:     src terminates its trace and dst starts another trace
+                  (a linear ordering of traces can still capture it);
+   - undesirable: the transfer enters and/or exits a trace at a
+                  nonterminal basic block. *)
+
+open Ir
+
+type counts = {
+  mutable desirable : int;
+  mutable undesirable : int;
+  mutable neutral : int;
+}
+
+let total c = c.desirable + c.undesirable + c.neutral
+
+let fraction part c =
+  let t = total c in
+  if t = 0 then 0. else float_of_int part /. float_of_int t
+
+type prepared = {
+  trace_of : int array;
+  pos_in_trace : int array; (* index of the block within its trace *)
+  trace_len : int array; (* length of the block's trace *)
+}
+
+let prepare (sel : Placement.Trace_select.t) nblocks =
+  let pos = Array.make nblocks 0 in
+  let len = Array.make nblocks 0 in
+  Array.iter
+    (fun trace ->
+      Array.iteri
+        (fun idx l ->
+          pos.(l) <- idx;
+          len.(l) <- Array.length trace)
+        trace)
+    sel.Placement.Trace_select.traces;
+  { trace_of = sel.Placement.Trace_select.trace_of; pos_in_trace = pos; trace_len = len }
+
+let classify_arc p src dst =
+  let same_trace = p.trace_of.(src) = p.trace_of.(dst) in
+  if same_trace && p.pos_in_trace.(dst) = p.pos_in_trace.(src) + 1 then
+    `Desirable
+  else begin
+    let src_is_tail = p.pos_in_trace.(src) = p.trace_len.(src) - 1 in
+    let dst_is_head = p.pos_in_trace.(dst) = 0 in
+    if src_is_tail && dst_is_head then `Neutral else `Undesirable
+  end
+
+(* Classify all dynamic intra-function transfers of one run. *)
+let run (prog : Prog.program)
+    (selections : Placement.Trace_select.t array) (input : Vm.Io.input) :
+    counts =
+  let prepared =
+    Array.mapi
+      (fun fid (f : Prog.func) ->
+        prepare selections.(fid) (Array.length f.blocks))
+      prog.funcs
+  in
+  let counts = { desirable = 0; undesirable = 0; neutral = 0 } in
+  let observer =
+    {
+      Vm.Interp.null_observer with
+      on_arc =
+        (fun fid src dst ->
+          match classify_arc prepared.(fid) src dst with
+          | `Desirable -> counts.desirable <- counts.desirable + 1
+          | `Neutral -> counts.neutral <- counts.neutral + 1
+          | `Undesirable -> counts.undesirable <- counts.undesirable + 1);
+    }
+  in
+  ignore (Vm.Interp.run ~observer prog input);
+  counts

@@ -1,0 +1,106 @@
+(* Trace-driven simulation driver.
+
+   Replays a recorded block trace, expanded through an address map, into
+   one cache configuration, tracking the paper's metrics:
+
+   - miss ratio and memory-traffic ratio (from the cache simulator);
+   - avg.exec: mean consecutive instructions used from a cache miss to a
+     taken branch or the next miss (Table 8);
+   - avg.fetch: mean 4-byte entities transferred per miss (Table 8);
+   - effective access time under the three refill timing policies. *)
+
+type result = {
+  config : Icache.Config.t;
+  accesses : int;
+  misses : int;
+  words_fetched : int;
+  miss_ratio : float;
+  traffic_ratio : float;
+  avg_fetch_words : float;
+  avg_exec_insns : float;
+  eat_blocking : float; (* effective access time, cycles per fetch *)
+  eat_streaming : float;
+  eat_streaming_partial : float;
+}
+
+let simulate ?(timing_model = Icache.Timing.default_model)
+    (config : Icache.Config.t) (map : Placement.Address_map.t)
+    (trace : Trace_gen.t) : result =
+  let cache = Icache.Cache.create config in
+  let words_per_block = Icache.Config.words_per_block config in
+  let timers =
+    List.map
+      (fun policy -> Icache.Timing.create ~model:timing_model policy)
+      [
+        Icache.Timing.Blocking;
+        Icache.Timing.Streaming;
+        Icache.Timing.Streaming_partial;
+      ]
+  in
+  (* Run bookkeeping: a "run" starts at a miss and extends over the
+     consecutive sequential fetches that follow it. *)
+  let prev_addr = ref min_int in
+  let run_open = ref false in
+  let run_len = ref 0 in
+  let run_word = ref 0 in
+  let run_fetched = ref 0 in
+  let runs_sum = ref 0 in
+  let runs_count = ref 0 in
+  let close_run () =
+    if !run_open then begin
+      runs_sum := !runs_sum + !run_len;
+      incr runs_count;
+      List.iter
+        (fun t ->
+          Icache.Timing.on_miss t ~words_per_block ~word_in_block:!run_word
+            ~run_words:(!run_len - 1) ~fetched_words:!run_fetched)
+        timers;
+      run_open := false
+    end
+  in
+  let fetch addr =
+    let outcome = Icache.Cache.access cache addr in
+    let sequential = addr = !prev_addr + Icache.Config.word_bytes in
+    prev_addr := addr;
+    if outcome.Icache.Cache.miss then begin
+      close_run ();
+      run_open := true;
+      run_len := 1;
+      run_word := outcome.Icache.Cache.word_in_block;
+      run_fetched := outcome.Icache.Cache.fetched_words
+    end
+    else begin
+      List.iter Icache.Timing.on_hit timers;
+      if !run_open then begin
+        if sequential then incr run_len else close_run ()
+      end
+    end
+  in
+  Trace_gen.iter_fetches map trace ~fetch;
+  close_run ();
+  let eat = function
+    | [ b; s; p ] ->
+      ( Icache.Timing.effective_access_time b,
+        Icache.Timing.effective_access_time s,
+        Icache.Timing.effective_access_time p )
+    | _ -> assert false
+  in
+  let eat_blocking, eat_streaming, eat_streaming_partial = eat timers in
+  {
+    config;
+    accesses = Icache.Cache.accesses cache;
+    misses = Icache.Cache.misses cache;
+    words_fetched = Icache.Cache.words_fetched cache;
+    miss_ratio = Icache.Cache.miss_ratio cache;
+    traffic_ratio = Icache.Cache.traffic_ratio cache;
+    avg_fetch_words = Icache.Cache.avg_fetch_words cache;
+    avg_exec_insns =
+      (if !runs_count = 0 then 0.
+       else float_of_int !runs_sum /. float_of_int !runs_count);
+    eat_blocking;
+    eat_streaming;
+    eat_streaming_partial;
+  }
+
+let simulate_all ?timing_model configs map trace =
+  List.map (fun config -> simulate ?timing_model config map trace) configs

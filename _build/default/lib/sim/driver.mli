@@ -1,0 +1,31 @@
+(** Trace-driven simulation driver: replays a block trace through an
+    address map into a cache configuration, computing the paper's
+    metrics. *)
+
+type result = {
+  config : Icache.Config.t;
+  accesses : int;
+  misses : int;
+  words_fetched : int;
+  miss_ratio : float;
+  traffic_ratio : float;
+  avg_fetch_words : float;  (** Table 8 [avg.fetch] *)
+  avg_exec_insns : float;  (** Table 8 [avg.exec] *)
+  eat_blocking : float;  (** effective access time, cycles per fetch *)
+  eat_streaming : float;
+  eat_streaming_partial : float;
+}
+
+val simulate :
+  ?timing_model:Icache.Timing.model ->
+  Icache.Config.t ->
+  Placement.Address_map.t ->
+  Trace_gen.t ->
+  result
+
+val simulate_all :
+  ?timing_model:Icache.Timing.model ->
+  Icache.Config.t list ->
+  Placement.Address_map.t ->
+  Trace_gen.t ->
+  result list

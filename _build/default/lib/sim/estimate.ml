@@ -1,0 +1,125 @@
+(* Analytical miss-ratio estimation from profile weights — the paper's
+   third "continuing research" direction (section 5): "With few mapping
+   conflicts, performance measurements based on weighted call graphs
+   could closely approximate the trace driven simulation."
+
+   The estimator sees only the address map, the weighted control graphs
+   and the function entry counts — no dynamic trace.  Model, for a
+   direct-mapped cache of memory blocks:
+
+   - every executed (nonzero-weight) memory block costs one compulsory
+     miss;
+   - a memory block [m] belonging (dominantly) to function [f] and
+     sharing a cache set with other executed blocks can be evicted and
+     re-fetched.  Each competitor [j] can force at most one re-fetch of
+     [m] per alternation, and alternation frequency is bounded by the
+     competitor's activity: its own execution count when it lives in the
+     same function (loop-carried thrash), or its function's entry count
+     when it lives in another function (the weighted-call-graph bound —
+     inter-function interleavings happen at most once per activation).
+     Re-fetches of [m] are also bounded by m's own execution count.
+
+   The estimate is conservative in both directions by design — it knows
+   nothing about orderings — but with few mapping conflicts (the very
+   goal of the placement algorithm) the compulsory term dominates and
+   the approximation is tight, exactly the paper's observation. *)
+
+type result = {
+  compulsory : int;
+  conflict : int;
+  est_misses : int;
+  profile_fetches : int;
+  est_miss_ratio : float;
+}
+
+(* A memory block's aggregated statistics. *)
+type mem_block = {
+  mutable weight : int; (* executions of code in this block *)
+  mutable dom_func : int; (* function contributing the most weight *)
+  mutable dom_weight : int;
+  mutable entries : int; (* entry count of the dominant function *)
+}
+
+let estimate (config : Icache.Config.t) (map : Placement.Address_map.t)
+    ~(block_weight : int -> int -> int) ~(func_entries : int -> int) :
+    result =
+  let block_bytes = config.Icache.Config.block in
+  let nsets = Icache.Config.nsets config in
+  let blocks : (int, mem_block) Hashtbl.t = Hashtbl.create 1024 in
+  let profile_fetches = ref 0 in
+  Array.iteri
+    (fun fid addrs ->
+      Array.iteri
+        (fun label addr ->
+          let w = block_weight fid label in
+          if w > 0 then begin
+            let words = map.Placement.Address_map.block_words.(fid).(label) in
+            profile_fetches := !profile_fetches + (w * words);
+            let bytes = words * 4 in
+            let first = addr / block_bytes in
+            let last = (addr + bytes - 1) / block_bytes in
+            for m = first to last do
+              let mb =
+                match Hashtbl.find_opt blocks m with
+                | Some mb -> mb
+                | None ->
+                  let mb =
+                    { weight = 0; dom_func = fid; dom_weight = 0; entries = 0 }
+                  in
+                  Hashtbl.add blocks m mb;
+                  mb
+              in
+              mb.weight <- mb.weight + w;
+              if w > mb.dom_weight then begin
+                mb.dom_weight <- w;
+                mb.dom_func <- fid;
+                mb.entries <- func_entries fid
+              end
+            done
+          end)
+        addrs)
+    map.Placement.Address_map.block_addr;
+  (* Group by cache set. *)
+  let sets = Array.make nsets [] in
+  Hashtbl.iter
+    (fun m mb -> sets.(m mod nsets) <- (m, mb) :: sets.(m mod nsets))
+    blocks;
+  let compulsory = Hashtbl.length blocks in
+  let conflict = ref 0 in
+  Array.iter
+    (fun frags ->
+      match frags with
+      | [] | [ _ ] -> ()
+      | frags ->
+        List.iter
+          (fun (_, mb) ->
+            (* competitor pressure on this fragment *)
+            let pressure =
+              List.fold_left
+                (fun acc (_, other) ->
+                  if other == mb then acc
+                  else if other.dom_func = mb.dom_func then
+                    acc + other.weight
+                  else acc + other.entries)
+                0 frags
+            in
+            conflict := !conflict + min mb.weight pressure)
+          frags)
+    sets;
+  let est_misses = compulsory + !conflict in
+  {
+    compulsory;
+    conflict = !conflict;
+    est_misses;
+    profile_fetches = !profile_fetches;
+    est_miss_ratio =
+      (if !profile_fetches = 0 then 0.
+       else float_of_int est_misses /. float_of_int !profile_fetches);
+  }
+
+(* Convenience: estimate from a pipeline's own profile. *)
+let of_pipeline config (pl : Placement.Pipeline.t) =
+  let profile = pl.Placement.Pipeline.profile in
+  estimate config pl.Placement.Pipeline.optimized
+    ~block_weight:(Vm.Profile.block_weight profile)
+    ~func_entries:(Vm.Profile.func_weight profile)

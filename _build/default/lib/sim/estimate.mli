@@ -1,0 +1,28 @@
+(** Analytical miss-ratio estimation from profile weights alone (no
+    dynamic trace) — the paper's §5 proposal that weighted-call-graph
+    measurements can approximate trace-driven simulation when mapping
+    conflicts are few.
+
+    Model: one compulsory miss per executed memory block, plus a conflict
+    term bounding re-fetches by competitor activity (same-function
+    competitors by their execution counts, other functions by their entry
+    counts — the weighted-call-graph bound). *)
+
+type result = {
+  compulsory : int;  (** executed memory blocks *)
+  conflict : int;  (** estimated re-fetches from set contention *)
+  est_misses : int;
+  profile_fetches : int;  (** instruction fetches implied by the weights *)
+  est_miss_ratio : float;
+}
+
+val estimate :
+  Icache.Config.t ->
+  Placement.Address_map.t ->
+  block_weight:(int -> int -> int) ->
+  func_entries:(int -> int) ->
+  result
+(** Direct-mapped geometry is assumed (ways are ignored). *)
+
+val of_pipeline : Icache.Config.t -> Placement.Pipeline.t -> result
+(** Estimate for the pipeline's optimized layout from its own profile. *)

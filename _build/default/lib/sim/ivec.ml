@@ -1,0 +1,30 @@
+(* Growable int vector, used to store multi-million-entry block traces
+   compactly. *)
+
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 1024) () = { data = Array.make (max capacity 16) 0; len = 0 }
+
+let length t = t.len
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * t.len) 0 in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t idx =
+  if idx < 0 || idx >= t.len then invalid_arg "Ivec.get";
+  t.data.(idx)
+
+let unsafe_get t idx = Array.unsafe_get t.data idx
+
+let iter f t =
+  for idx = 0 to t.len - 1 do
+    f (Array.unsafe_get t.data idx)
+  done
+
+let to_array t = Array.sub t.data 0 t.len

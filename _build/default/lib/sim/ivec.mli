@@ -1,0 +1,11 @@
+(** Growable int vector for multi-million-entry block traces. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val push : t -> int -> unit
+val get : t -> int -> int
+val unsafe_get : t -> int -> int
+val iter : (int -> unit) -> t -> unit
+val to_array : t -> int array

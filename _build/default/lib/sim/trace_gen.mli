@@ -1,0 +1,35 @@
+(** Dynamic trace capture and expansion.
+
+    A run is recorded once as a compact block-level trace; replaying it
+    against different address maps and cache configurations expands each
+    block into instruction-fetch addresses without re-running the
+    interpreter. *)
+
+open Ir
+
+exception Too_many_blocks of string
+
+type t = {
+  blocks : Ivec.t;  (** packed (fid, label) in execution order *)
+  result : Vm.Interp.result;
+}
+
+val pack : int -> Cfg.label -> int
+val unpack_fid : int -> int
+val unpack_label : int -> Cfg.label
+
+val record : ?fuel:int -> Prog.program -> Vm.Io.input -> t
+(** Execute and capture.  Raises {!Too_many_blocks} if a function exceeds
+    the packing capacity (2^20 blocks). *)
+
+val dyn_blocks : t -> int
+
+val dyn_insns : Placement.Address_map.t -> t -> int
+(** Dynamic instruction fetches under the given address map (accounts for
+    code scaling). *)
+
+val iter_fetches :
+  Placement.Address_map.t -> t -> fetch:(int -> unit) -> unit
+(** Call [fetch] for every 4-byte instruction access of the trace. *)
+
+val iter_blocks : (int -> Cfg.label -> unit) -> t -> unit

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Cfg Fmt Insn Io Ir List Memory Prog

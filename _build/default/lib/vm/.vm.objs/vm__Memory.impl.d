@@ -1,0 +1,1 @@
+lib/vm/memory.ml: Bytes Char Fmt Int32 Ir List String

@@ -1,0 +1,1 @@
+lib/vm/profile.ml: Array Cfg Hashtbl Interp Ir List Prog

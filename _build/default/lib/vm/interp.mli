@@ -1,0 +1,38 @@
+(** CFG interpreter: plain execution, execution profiling (via the
+    observer), and dynamic-trace generation all use this engine.
+
+    Dynamic instruction counts honor {!Ir.Cfg.block.size_override}, so the
+    code-scaling transform is reflected in the fetch stream without
+    changing program semantics. *)
+
+open Ir
+
+exception Fault of string
+
+type observer = {
+  on_block : int -> Cfg.label -> unit;
+      (** [on_block fid label]: the block is about to execute *)
+  on_arc : int -> Cfg.label -> Cfg.label -> unit;
+      (** intra-function control transfer [src -> dst]; the arc from a call
+          block to its return continuation is reported when the call
+          returns *)
+  on_call : int -> Cfg.label -> int -> unit;
+      (** [on_call caller_fid block callee_fid] *)
+}
+
+val null_observer : observer
+
+type result = {
+  return_value : int;
+  dyn_insns : int;  (** dynamic instruction fetches *)
+  dyn_blocks : int;
+  dyn_calls : int;  (** dynamic function calls *)
+  dyn_branches : int;  (** control transfers other than call/return *)
+  io : Io.t;  (** inspect outputs with {!Io.output} *)
+}
+
+val run :
+  ?observer:observer -> ?fuel:int -> Prog.program -> Io.input -> result
+(** Execute the program to completion.  Raises {!Fault} on VM errors
+    (division by zero, bad memory access, abort, fuel exhaustion — default
+    fuel 2e9 instructions). *)

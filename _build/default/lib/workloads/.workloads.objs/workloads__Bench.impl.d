@@ -1,0 +1,1 @@
+lib/workloads/bench.ml: Ir Lazy List Vm

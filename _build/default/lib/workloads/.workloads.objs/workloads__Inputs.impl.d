@@ -1,0 +1,1 @@
+lib/workloads/inputs.ml: Array Buffer Bytes Char Hashtbl List Printf Rng String

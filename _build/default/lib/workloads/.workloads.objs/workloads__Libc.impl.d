@@ -1,0 +1,1 @@
+lib/workloads/libc.ml: Char Ir String

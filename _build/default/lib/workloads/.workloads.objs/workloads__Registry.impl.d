@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Bench List W_cccp W_cmp W_compress W_grep W_lex W_make W_tar W_tee W_wc W_yacc

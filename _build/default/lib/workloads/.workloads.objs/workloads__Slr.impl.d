@@ -1,0 +1,1 @@
+lib/workloads/slr.ml: Array Hashtbl List Printf Queue Set

@@ -1,0 +1,1 @@
+lib/workloads/w_cccp.ml: Bench Inputs Ir Libc List Printf Vm

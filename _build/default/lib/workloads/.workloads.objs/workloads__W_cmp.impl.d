@@ -1,0 +1,1 @@
+lib/workloads/w_cmp.ml: Bench Inputs Ir Libc List Vm

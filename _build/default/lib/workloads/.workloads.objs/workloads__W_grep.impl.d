@@ -1,0 +1,1 @@
+lib/workloads/w_grep.ml: Array Bench Inputs Ir Libc List Vm

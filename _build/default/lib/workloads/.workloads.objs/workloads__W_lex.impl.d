@@ -1,0 +1,1 @@
+lib/workloads/w_lex.ml: Array Bench Char Inputs Ir Libc List Printf String Vm

@@ -1,0 +1,1 @@
+lib/workloads/w_make.ml: Bench Inputs Ir Libc List Printf Vm

@@ -1,0 +1,1 @@
+lib/workloads/w_tar.ml: Bench Inputs Ir Libc List Printf Vm

@@ -1,0 +1,1 @@
+lib/workloads/w_tee.ml: Bench Inputs Ir Libc List Vm

@@ -1,0 +1,1 @@
+lib/workloads/w_wc.ml: Bench Inputs Ir Libc List Printf Vm

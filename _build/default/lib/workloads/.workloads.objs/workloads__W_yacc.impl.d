@@ -1,0 +1,1 @@
+lib/workloads/w_yacc.ml: Array Bench Char Inputs Ir Lazy Libc List Printf Slr String Vm

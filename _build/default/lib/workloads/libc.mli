@@ -1,0 +1,20 @@
+(** A small C library written in the workload DSL: ctype tests, string and
+    memory routines, number/string output, line input, hashing.
+
+    Every benchmark links the whole library, so library code appears in
+    dynamic traces (as in the paper) and unused functions become the
+    zero-weight code the layout pushes out of the effective region. *)
+
+val ctype_image : string
+(** 256-byte classification table backing the [is_*] functions. *)
+
+val globals : (string * Ir.Ast.ginit) list
+val funcs : Ir.Ast.func list
+
+val link :
+  ?globals:(string * Ir.Ast.ginit) list ->
+  entry:string ->
+  Ir.Ast.func list ->
+  Ir.Ast.program
+(** [link ~globals ~entry workload_funcs] assembles a complete program:
+    the workload's globals and functions plus the library. *)

@@ -1,0 +1,25 @@
+(* The benchmark suite: the ten UNIX-like programs of the paper's Table 2,
+   in the paper's order. *)
+
+let all : Bench.t list =
+  [
+    W_cccp.benchmark;
+    W_cmp.benchmark;
+    W_compress.benchmark;
+    W_grep.benchmark;
+    W_lex.benchmark;
+    W_make.benchmark;
+    W_tee.benchmark;
+    W_tar.benchmark;
+    W_wc.benchmark;
+    W_yacc.benchmark;
+  ]
+
+let names = List.map (fun b -> b.Bench.name) all
+
+exception Unknown_benchmark of string
+
+let find name =
+  match List.find_opt (fun b -> b.Bench.name = name) all with
+  | Some b -> b
+  | None -> raise (Unknown_benchmark name)

@@ -1,0 +1,10 @@
+(** The ten-benchmark suite, in the paper's Table 2 order:
+    cccp, cmp, compress, grep, lex, make, tee, tar, wc, yacc. *)
+
+exception Unknown_benchmark of string
+
+val all : Bench.t list
+val names : string list
+
+val find : string -> Bench.t
+(** Raises {!Unknown_benchmark}. *)

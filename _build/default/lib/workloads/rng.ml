@@ -1,0 +1,37 @@
+(* Deterministic pseudo-random generator (splitmix64) used by the input
+   generators, so every profiling and trace input is reproducible without
+   touching the global Random state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+(* Uniform int in [lo, hi] inclusive. *)
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range";
+  lo + int t (hi - lo + 1)
+
+let pick t arr = arr.(int t (Array.length arr))
+
+let pick_list t l = List.nth l (int t (List.length l))
+
+let lowercase_letter t = Char.chr (Char.code 'a' + int t 26)
+
+let word t min_len max_len =
+  let len = range t min_len max_len in
+  String.init len (fun _ -> lowercase_letter t)

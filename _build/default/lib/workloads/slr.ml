@@ -1,0 +1,262 @@
+(* SLR(1) parser-table generation — the role UNIX yacc plays for the yacc
+   workload.  Given a context-free grammar, computes the LR(0) canonical
+   collection, FIRST/FOLLOW sets, and the ACTION/GOTO tables that the
+   DSL's table-driven parser interprets.
+
+   The construction is the textbook one (dragon book 4.7): items are
+   (rule, dot) pairs; states are closed item sets; ACTION conflicts make
+   the grammar unacceptable and raise [Conflict]. *)
+
+type symbol =
+  | T of int (* terminal id *)
+  | N of int (* nonterminal id *)
+
+type grammar = {
+  nterminals : int; (* terminal ids 0 .. nterminals-1 *)
+  nnonterminals : int;
+  start : int; (* start nonterminal *)
+  eof : int; (* terminal that ends the input *)
+  rules : (int * symbol list) array; (* lhs nonterminal, rhs *)
+}
+
+type action =
+  | Error
+  | Shift of int
+  | Reduce of int
+  | Accept
+
+type tables = {
+  nstates : int;
+  action : action array array; (* [state].(terminal) *)
+  goto : int array array; (* [state].(nonterminal), -1 = none *)
+  rule_len : int array;
+  rule_lhs : int array;
+}
+
+exception Conflict of string
+
+(* Augmented grammar: rule 0 is S' -> start, reductions by rule 0 become
+   Accept. *)
+let augment g =
+  { g with rules = Array.append [| (g.nnonterminals, [ N g.start ]) |] g.rules;
+           nnonterminals = g.nnonterminals + 1 }
+(* note: the augmented start symbol is the ORIGINAL g.nnonterminals id *)
+
+module ItemSet = Set.Make (struct
+  type t = int * int (* rule index, dot position *)
+
+  let compare = compare
+end)
+
+let closure g items =
+  let changed = ref true in
+  let set = ref items in
+  while !changed do
+    changed := false;
+    ItemSet.iter
+      (fun (rule, dot) ->
+        let _, rhs = g.rules.(rule) in
+        match List.nth_opt rhs dot with
+        | Some (N nt) ->
+          Array.iteri
+            (fun ridx (lhs, _) ->
+              if lhs = nt && not (ItemSet.mem (ridx, 0) !set) then begin
+                set := ItemSet.add (ridx, 0) !set;
+                changed := true
+              end)
+            g.rules
+        | Some (T _) | None -> ())
+      !set
+  done;
+  !set
+
+let goto_set g items sym =
+  let moved =
+    ItemSet.fold
+      (fun (rule, dot) acc ->
+        let _, rhs = g.rules.(rule) in
+        match List.nth_opt rhs dot with
+        | Some s when s = sym -> ItemSet.add (rule, dot + 1) acc
+        | Some _ | None -> acc)
+      items ItemSet.empty
+  in
+  if ItemSet.is_empty moved then None else Some (closure g moved)
+
+(* Nullable / FIRST / FOLLOW over the augmented grammar. *)
+let analyze g =
+  let nullable = Array.make g.nnonterminals false in
+  let first = Array.make g.nnonterminals [] in
+  let follow = Array.make g.nnonterminals [] in
+  let add set nt t =
+    if not (List.mem t set.(nt)) then begin
+      set.(nt) <- t :: set.(nt);
+      true
+    end
+    else false
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (lhs, rhs) ->
+        (* nullable *)
+        let all_nullable =
+          List.for_all (function N n -> nullable.(n) | T _ -> false) rhs
+        in
+        if all_nullable && not nullable.(lhs) then begin
+          nullable.(lhs) <- true;
+          changed := true
+        end;
+        (* FIRST *)
+        let rec first_of = function
+          | [] -> ()
+          | T t :: _ -> if add first lhs t then changed := true
+          | N n :: rest ->
+            List.iter (fun t -> if add first lhs t then changed := true) first.(n);
+            if nullable.(n) then first_of rest
+        in
+        first_of rhs)
+      g.rules
+  done;
+  (* FOLLOW: eof follows the augmented start's rhs trivially via rule 0;
+     seed the original start symbol. *)
+  ignore (add follow g.start g.eof);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (lhs, rhs) ->
+        let rec walk = function
+          | [] -> ()
+          | T _ :: rest -> walk rest
+          | N n :: rest ->
+            (* FIRST of what follows n *)
+            let rec first_of_rest tail =
+              match tail with
+              | [] ->
+                (* everything after n is nullable: FOLLOW(lhs) flows in *)
+                List.iter
+                  (fun t -> if add follow n t then changed := true)
+                  follow.(lhs)
+              | T t :: _ -> if add follow n t then changed := true
+              | N m :: more ->
+                List.iter
+                  (fun t -> if add follow n t then changed := true)
+                  first.(m);
+                if nullable.(m) then first_of_rest more
+            in
+            first_of_rest rest;
+            walk rest
+        in
+        walk rhs)
+      g.rules
+  done;
+  (nullable, first, follow)
+
+let build (g0 : grammar) : tables =
+  let g = augment g0 in
+  let _, _, follow = analyze g in
+  (* Canonical collection. *)
+  let start_state = closure g (ItemSet.singleton (0, 0)) in
+  let states = ref [ start_state ] in
+  let index_of set =
+    let rec go idx = function
+      | [] -> None
+      | s :: rest -> if ItemSet.equal s set then Some idx else go (idx + 1) rest
+    in
+    go 0 !states
+  in
+  let transitions = Hashtbl.create 64 in
+  let work = Queue.create () in
+  Queue.add 0 work;
+  let symbols =
+    List.init g.nterminals (fun t -> T t)
+    @ List.init g.nnonterminals (fun n -> N n)
+  in
+  while not (Queue.is_empty work) do
+    let sidx = Queue.pop work in
+    let set = List.nth !states sidx in
+    List.iter
+      (fun sym ->
+        match goto_set g set sym with
+        | None -> ()
+        | Some next ->
+          let nidx =
+            match index_of next with
+            | Some idx -> idx
+            | None ->
+              states := !states @ [ next ];
+              let idx = List.length !states - 1 in
+              Queue.add idx work;
+              idx
+          in
+          Hashtbl.replace transitions (sidx, sym) nidx)
+      symbols
+  done;
+  let nstates = List.length !states in
+  let action = Array.init nstates (fun _ -> Array.make g.nterminals Error) in
+  let goto = Array.init nstates (fun _ -> Array.make g0.nnonterminals (-1)) in
+  let set_action state t a =
+    match (action.(state).(t), a) with
+    | Error, _ -> action.(state).(t) <- a
+    | cur, a when cur = a -> ()
+    | Shift _, Reduce _ | Reduce _, Shift _ ->
+      raise
+        (Conflict (Printf.sprintf "shift/reduce in state %d on terminal %d" state t))
+    | _ ->
+      raise
+        (Conflict (Printf.sprintf "conflict in state %d on terminal %d" state t))
+  in
+  List.iteri
+    (fun sidx set ->
+      (* shifts and gotos *)
+      List.iter
+        (fun sym ->
+          match Hashtbl.find_opt transitions (sidx, sym) with
+          | None -> ()
+          | Some next -> (
+            match sym with
+            | T t -> set_action sidx t (Shift next)
+            | N n -> if n < g0.nnonterminals then goto.(sidx).(n) <- next))
+        symbols;
+      (* reductions *)
+      ItemSet.iter
+        (fun (rule, dot) ->
+          let lhs, rhs = g.rules.(rule) in
+          if dot = List.length rhs then
+            if rule = 0 then set_action sidx g.eof Accept
+            else
+              List.iter
+                (fun t -> set_action sidx t (Reduce rule))
+                follow.(lhs))
+        set)
+    !states;
+  {
+    nstates;
+    action;
+    goto;
+    (* rule metadata for the augmented numbering (rule 0 = accept) *)
+    rule_len = Array.map (fun (_, rhs) -> List.length rhs) g.rules;
+    rule_lhs = Array.map fst g.rules;
+  }
+
+(* Encode the tables as flat word arrays for the DSL program:
+   action entry: 0 error, 1000+state shift, 2000+rule reduce, 3000 accept;
+   goto entry: state+1, 0 for none. *)
+let encode_action t g =
+  Array.init
+    (t.nstates * g.nterminals)
+    (fun idx ->
+      let state = idx / g.nterminals and term = idx mod g.nterminals in
+      match t.action.(state).(term) with
+      | Error -> 0
+      | Shift s -> 1000 + s
+      | Reduce r -> 2000 + r
+      | Accept -> 3000)
+
+let encode_goto t g =
+  Array.init
+    (t.nstates * g.nnonterminals)
+    (fun idx ->
+      let state = idx / g.nnonterminals and nt = idx mod g.nnonterminals in
+      t.goto.(state).(nt) + 1)

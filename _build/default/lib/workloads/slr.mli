@@ -1,0 +1,40 @@
+(** SLR(1) parser-table generation — the role UNIX yacc plays for the
+    yacc workload.  Textbook construction (LR(0) canonical collection +
+    FOLLOW sets); grammars with conflicts raise {!Conflict}. *)
+
+type symbol =
+  | T of int  (** terminal id *)
+  | N of int  (** nonterminal id *)
+
+type grammar = {
+  nterminals : int;
+  nnonterminals : int;
+  start : int;
+  eof : int;  (** terminal that ends the input (also the accept column) *)
+  rules : (int * symbol list) array;
+}
+
+type action =
+  | Error
+  | Shift of int
+  | Reduce of int
+  | Accept
+
+type tables = {
+  nstates : int;
+  action : action array array;  (** [state].(terminal) *)
+  goto : int array array;  (** [state].(nonterminal), [-1] = none *)
+  rule_len : int array;  (** indexed by augmented rule number; 0 = accept *)
+  rule_lhs : int array;
+}
+
+exception Conflict of string
+
+val build : grammar -> tables
+
+val encode_action : tables -> grammar -> int array
+(** Flat [state * nterminals] array: 0 error, 1000+s shift, 2000+r reduce,
+    3000 accept. *)
+
+val encode_goto : tables -> grammar -> int array
+(** Flat [state * nnonterminals] array storing target state + 1; 0 = none. *)

@@ -1,0 +1,1019 @@
+(* cccp: a miniature C preprocessor, like GNU cccp.
+
+   Supported:
+   - object-like macros: #define NAME value, #undef, redefinition;
+     recursive macro expansion with a depth limit, string-literal and
+     character-literal protection;
+   - conditionals: #ifdef/#ifndef, #if with a full constant-expression
+     evaluator (defined(X), ! ~ -, * / %, + -, << >>, relational,
+     equality, & ^ |, && ||), #elif, #else, #endif, arbitrarily nested;
+   - #include "name" against an include library supplied on stream 1
+     ("%% name" section delimiters), nested up to 8 deep;
+   - comment stripping (/ * ... * /, possibly spanning lines) and
+     backslash-newline splicing, both literal-aware.
+
+   The macro table is a tombstone-style open-addressing hash over global
+   storage; names and replacement texts live in bump arenas.  Slot
+   encoding in the name table: 0 = empty, 1 = tombstone, otherwise the
+   arena offset of the stored name plus 2. *)
+
+open Ir.Ast.Dsl
+
+let tbl_slots = 1024
+let max_cond_depth = 32
+let max_include_depth = 8
+let max_expand_depth = 8
+
+let globals =
+  [
+    ("cpp_tbl_name", Ir.Ast.Gzero (tbl_slots * 4));
+    ("cpp_tbl_val", Ir.Ast.Gzero (tbl_slots * 4));
+    ("cpp_names", Ir.Ast.Gzero 65536);
+    ("cpp_vals", Ir.Ast.Gzero 65536);
+    ("cpp_next", Ir.Ast.Gzero 8); (* [0] names cursor, [4] vals cursor *)
+    (* conditional-inclusion stack *)
+    ("cond_active", Ir.Ast.Gzero max_cond_depth);
+    ("cond_taken", Ir.Ast.Gzero max_cond_depth);
+    ("cond_state", Ir.Ast.Gzero 12); (* [0] depth, [4] inactive, [8] errors *)
+    (* include machinery: library buffer and source stack *)
+    ("inc_buf_ptr", Ir.Ast.Gzero 4); (* address of the loaded library *)
+    ("inc_len", Ir.Ast.Gzero 4);
+    ("src_pos", Ir.Ast.Gzero (max_include_depth * 4));
+    ("src_end", Ir.Ast.Gzero (max_include_depth * 4));
+    ("src_depth", Ir.Ast.Gzero 4);
+    (* reader state: 1 while inside a block comment *)
+    ("rl_comment", Ir.Ast.Gzero 4);
+    ("if_pos", Ir.Ast.Gzero 4); (* cursor of the #if expression parser *)
+    ("kw_define", Ir.Ast.Gstring "define");
+    ("kw_undef", Ir.Ast.Gstring "undef");
+    ("kw_ifdef", Ir.Ast.Gstring "ifdef");
+    ("kw_ifndef", Ir.Ast.Gstring "ifndef");
+    ("kw_if", Ir.Ast.Gstring "if");
+    ("kw_elif", Ir.Ast.Gstring "elif");
+    ("kw_else", Ir.Ast.Gstring "else");
+    ("kw_endif", Ir.Ast.Gstring "endif");
+    ("kw_include", Ir.Ast.Gstring "include");
+    ("kw_defined", Ir.Ast.Gstring "defined");
+    ("builtin_std", Ir.Ast.Gstring "__STDC__");
+    ("builtin_std_val", Ir.Ast.Gstring "1");
+    ("builtin_impact", Ir.Ast.Gstring "__IMPACT__");
+    ("builtin_impact_val", Ir.Ast.Gstring "1989");
+  ]
+
+(* ---------- symbol table ---------- *)
+
+(* Append a string to a bump arena; [cursor] addresses the next-offset
+   word.  Returns the offset of the copy. *)
+let arena_add =
+  func "arena_add" [ "arena"; "cursor"; "s" ]
+    [
+      decl "off" (ld32 (v "cursor"));
+      expr (call "strcpy" [ v "arena" +% v "off"; v "s" ]);
+      st32 (v "cursor") (v "off" +% call "strlen" [ v "s" ] +% i 1);
+      ret (v "off");
+    ]
+
+(* Probe for [name]; returns the slot holding it, or the insertion slot
+   (first tombstone on the chain, else the terminating empty slot). *)
+let sym_find =
+  func "sym_find" [ "name" ]
+    [
+      decl "h" (call "hash_string" [ v "name"; i tbl_slots ]);
+      decl "first_free" (i 0 -% i 1);
+      while_ (i 1)
+        [
+          decl "e" (ld32 (g "cpp_tbl_name" +% (v "h" *% i 4)));
+          when_ (v "e" ==% i 0)
+            [
+              if_ (v "first_free" >=% i 0)
+                [ ret (v "first_free") ]
+                [ ret (v "h") ];
+            ];
+          if_ (v "e" ==% i 1)
+            [ when_ (v "first_free" <% i 0) [ set "first_free" (v "h") ] ]
+            [
+              when_
+                (call "strcmp" [ v "name"; g "cpp_names" +% (v "e" -% i 2) ]
+                ==% i 0)
+                [ ret (v "h") ];
+            ];
+          set "h" ((v "h" +% i 1) &% i (tbl_slots - 1));
+        ];
+      ret (i 0);
+    ]
+
+let slot_live =
+  func "slot_live" [ "slot" ]
+    [ ret (ld32 (g "cpp_tbl_name" +% (v "slot" *% i 4)) >=% i 2) ]
+
+let sym_define =
+  func "sym_define" [ "name"; "value" ]
+    [
+      decl "slot" (call "sym_find" [ v "name" ]);
+      decl "voff"
+        (call "arena_add" [ g "cpp_vals"; g "cpp_next" +% i 4; v "value" ]);
+      st32 (g "cpp_tbl_val" +% (v "slot" *% i 4)) (v "voff");
+      when_ (not_ (call "slot_live" [ v "slot" ]))
+        [
+          decl "noff"
+            (call "arena_add" [ g "cpp_names"; g "cpp_next"; v "name" ]);
+          st32 (g "cpp_tbl_name" +% (v "slot" *% i 4)) (v "noff" +% i 2);
+        ];
+      ret0;
+    ]
+
+let sym_undef =
+  func "sym_undef" [ "name" ]
+    [
+      decl "slot" (call "sym_find" [ v "name" ]);
+      when_ (call "slot_live" [ v "slot" ])
+        [ st32 (g "cpp_tbl_name" +% (v "slot" *% i 4)) (i 1) ];
+      ret0;
+    ]
+
+let sym_value =
+  func "sym_value" [ "slot" ]
+    [ ret (g "cpp_vals" +% ld32 (g "cpp_tbl_val" +% (v "slot" *% i 4))) ]
+
+(* ---------- include library and character source ---------- *)
+
+(* Load all of stream 1 into memory once. *)
+let inc_load =
+  func "inc_load" []
+    [
+      decl "len" (stream_len (i 1));
+      decl "buf" (alloc (v "len" +% i 1));
+      decl "k" (i 0);
+      while_ (v "k" <% v "len")
+        [ st8 (v "buf" +% v "k") (getc (i 1)); incr_ "k" ];
+      st8 (v "buf" +% v "len") (i 0);
+      st32 (g "inc_buf_ptr") (v "buf");
+      st32 (g "inc_len") (v "len");
+      ret0;
+    ]
+
+(* Find the section "%% name" in the include library; on success pushes a
+   source-stack entry covering the section body and returns 1. *)
+let inc_push =
+  func "inc_push" [ "name" ]
+    [
+      when_ (ld32 (g "src_depth") >=% i (max_include_depth - 1)) [ ret (i 0) ];
+      decl "buf" (ld32 (g "inc_buf_ptr"));
+      decl "len" (ld32 (g "inc_len"));
+      decl "k" (i 0);
+      decl "nlen" (call "strlen" [ v "name" ]);
+      while_ (v "k" <% v "len")
+        [
+          (* at a line start, check for the "%% " marker *)
+          when_
+            ((ld8 (v "buf" +% v "k") ==% chr '%')
+            &&% (ld8 (v "buf" +% v "k" +% i 1) ==% chr '%')
+            &&% (ld8 (v "buf" +% v "k" +% i 2) ==% chr ' '))
+            [
+              decl "p" (v "k" +% i 3);
+              when_
+                ((call "strncmp" [ v "buf" +% v "p"; v "name"; v "nlen" ]
+                 ==% i 0)
+                &&% (ld8 (v "buf" +% v "p" +% v "nlen") ==% chr '\n'))
+                [
+                  (* body runs to the next "%%" marker or end *)
+                  decl "start" (v "p" +% v "nlen" +% i 1);
+                  decl "e" (v "start");
+                  while_
+                    ((v "e" <% v "len")
+                    &&% not_
+                          ((ld8 (v "buf" +% v "e") ==% chr '%')
+                          &&% (ld8 (v "buf" +% v "e" +% i 1) ==% chr '%')
+                          &&% (ld8 (v "buf" +% v "e" +% i 2) ==% chr ' ')))
+                    [ incr_ "e" ];
+                  decl "d" (ld32 (g "src_depth") +% i 1);
+                  st32 (g "src_depth") (v "d");
+                  st32 (g "src_pos" +% (v "d" *% i 4)) (v "buf" +% v "start");
+                  st32 (g "src_end" +% (v "d" *% i 4)) (v "buf" +% v "e");
+                  ret (i 1);
+                ];
+            ];
+          (* advance to the next line *)
+          while_
+            ((v "k" <% v "len") &&% (ld8 (v "buf" +% v "k") <>% chr '\n'))
+            [ incr_ "k" ];
+          incr_ "k";
+        ];
+      ret (i 0);
+    ]
+
+(* Next raw character, honoring the include stack. *)
+let cpp_getc =
+  func "cpp_getc" []
+    [
+      while_ (i 1)
+        [
+          decl "d" (ld32 (g "src_depth"));
+          when_ (v "d" ==% i 0) [ ret (getc (i 0)) ];
+          decl "p" (ld32 (g "src_pos" +% (v "d" *% i 4)));
+          if_ (v "p" <% ld32 (g "src_end" +% (v "d" *% i 4)))
+            [
+              st32 (g "src_pos" +% (v "d" *% i 4)) (v "p" +% i 1);
+              ret (ld8 (v "p"));
+            ]
+            [ st32 (g "src_depth") (v "d" -% i 1) ];
+        ];
+      ret (i 0 -% i 1);
+    ]
+
+(* Read one logical line: splices backslash-newline, strips block
+   comments (replaced by one space; they may span lines), leaves string
+   and character literals intact.  Returns length or -1 at end of
+   input. *)
+let cpp_read_line =
+  func "cpp_read_line" [ "buf"; "max" ]
+    [
+      decl "n" (i 0);
+      decl "got" (i 0);
+      decl "in_str" (i 0); (* 0 none, '"' or '\'' when inside a literal *)
+      decl "c" (call "cpp_getc" []);
+      while_ (v "c" >=% i 0)
+        [
+          set "got" (i 1);
+          if_ (ld32 (g "rl_comment") <>% i 0)
+            [
+              (* inside a comment: look for the terminating star-slash *)
+              when_ (v "c" ==% chr '*')
+                [
+                  decl "c2" (call "cpp_getc" []);
+                  if_ (v "c2" ==% chr '/')
+                    [
+                      st32 (g "rl_comment") (i 0);
+                      when_ (v "n" <% (v "max" -% i 1))
+                        [ st8 (v "buf" +% v "n") (chr ' '); incr_ "n" ];
+                    ]
+                    [ when_ (v "c2" <% i 0) [ break_ ] ];
+                ];
+            ]
+            [
+              when_ ((v "c" ==% chr '\n') &&% (v "in_str" ==% i 0)) [ break_ ];
+              if_
+                ((v "in_str" ==% i 0)
+                &&% (v "c" ==% chr '/')
+                &&% (ld32 (g "rl_comment") ==% i 0))
+                [
+                  decl "c2" (call "cpp_getc" []);
+                  if_ (v "c2" ==% chr '*')
+                    [ st32 (g "rl_comment") (i 1) ]
+                    [
+                      when_ (v "n" <% (v "max" -% i 2))
+                        [
+                          st8 (v "buf" +% v "n") (v "c");
+                          incr_ "n";
+                          when_ ((v "c2" >=% i 0) &&% (v "c2" <>% chr '\n'))
+                            [ st8 (v "buf" +% v "n") (v "c2"); incr_ "n" ];
+                        ];
+                      when_ ((v "c2" ==% chr '\n') &&% (v "in_str" ==% i 0))
+                        [ break_ ];
+                    ];
+                ]
+                [
+                  if_ ((v "c" ==% chr '\\') &&% (v "in_str" ==% i 0))
+                    [
+                      decl "c2" (call "cpp_getc" []);
+                      if_ (v "c2" ==% chr '\n')
+                        [ expr (i 0) ] (* splice: swallow both *)
+                        [
+                          when_ (v "n" <% (v "max" -% i 2))
+                            [
+                              st8 (v "buf" +% v "n") (v "c");
+                              incr_ "n";
+                              when_ (v "c2" >=% i 0)
+                                [ st8 (v "buf" +% v "n") (v "c2"); incr_ "n" ];
+                            ];
+                        ];
+                    ]
+                    [
+                      (* literal tracking *)
+                      when_
+                        ((v "c" ==% chr '"') ||% (v "c" ==% chr '\''))
+                        [
+                          if_ (v "in_str" ==% i 0)
+                            [ set "in_str" (v "c") ]
+                            [
+                              when_ (v "in_str" ==% v "c")
+                                [ set "in_str" (i 0) ];
+                            ];
+                        ];
+                      when_ (v "n" <% (v "max" -% i 1))
+                        [ st8 (v "buf" +% v "n") (v "c"); incr_ "n" ];
+                    ];
+                ];
+            ];
+          set "c" (call "cpp_getc" []);
+        ];
+      st8 (v "buf" +% v "n") (i 0);
+      when_ ((v "c" <% i 0) &&% not_ (v "got")) [ ret (i 0 -% i 1) ];
+      ret (v "n");
+    ]
+
+(* ---------- scanning helpers ---------- *)
+
+let scan_word =
+  func "scan_word" [ "line"; "pos_cell"; "out"; "out_max" ]
+    [
+      decl "p" (ld32 (v "pos_cell"));
+      while_
+        ((ld8 (v "line" +% v "p") <>% i 0)
+        &&% call "is_space" [ ld8 (v "line" +% v "p") ])
+        [ incr_ "p" ];
+      decl "n" (i 0);
+      decl "c" (ld8 (v "line" +% v "p"));
+      while_
+        ((v "c" <>% i 0)
+        &&% not_ (call "is_space" [ v "c" ])
+        &&% (v "n" <% (v "out_max" -% i 1)))
+        [
+          st8 (v "out" +% v "n") (v "c");
+          incr_ "n";
+          incr_ "p";
+          set "c" (ld8 (v "line" +% v "p"));
+        ];
+      st8 (v "out" +% v "n") (i 0);
+      st32 (v "pos_cell") (v "p");
+      ret (v "n");
+    ]
+
+let scan_rest =
+  func "scan_rest" [ "line"; "pos_cell"; "out"; "out_max" ]
+    [
+      decl "p" (ld32 (v "pos_cell"));
+      while_
+        ((ld8 (v "line" +% v "p") <>% i 0)
+        &&% call "is_space" [ ld8 (v "line" +% v "p") ])
+        [ incr_ "p" ];
+      decl "n" (i 0);
+      decl "c" (ld8 (v "line" +% v "p"));
+      while_ ((v "c" <>% i 0) &&% (v "n" <% (v "out_max" -% i 1)))
+        [
+          st8 (v "out" +% v "n") (v "c");
+          incr_ "n";
+          incr_ "p";
+          set "c" (ld8 (v "line" +% v "p"));
+        ];
+      (* trim trailing blanks *)
+      while_
+        ((v "n" >% i 0)
+        &&% call "is_space" [ ld8 (v "out" +% (v "n" -% i 1)) ])
+        [ decr_ "n" ];
+      st8 (v "out" +% v "n") (i 0);
+      st32 (v "pos_cell") (v "p");
+      ret (v "n");
+    ]
+
+let ident_start =
+  func "ident_start" [ "c" ]
+    [ ret (call "is_alpha" [ v "c" ] ||% (v "c" ==% chr '_')) ]
+
+let ident_char =
+  func "ident_char" [ "c" ]
+    [ ret (call "is_alnum" [ v "c" ] ||% (v "c" ==% chr '_')) ]
+
+(* ---------- macro expansion ---------- *)
+
+(* Emit [text] with macros expanded recursively (depth-limited), leaving
+   string/char literals untouched.  [tmp] is a scratch identifier
+   buffer. *)
+let emit_expanded =
+  func "emit_expanded" [ "text"; "depth" ]
+    [
+      decl "tmp" (alloc (i 128));
+      decl "p" (i 0);
+      decl "in_str" (i 0);
+      decl "c" (ld8 (v "text"));
+      while_ (v "c" <>% i 0)
+        [
+          if_
+            ((v "in_str" ==% i 0) &&% call "ident_start" [ v "c" ])
+            [
+              decl "n" (i 0);
+              while_ (call "ident_char" [ v "c" ])
+                [
+                  when_ (v "n" <% i 127)
+                    [ st8 (v "tmp" +% v "n") (v "c"); incr_ "n" ];
+                  incr_ "p";
+                  set "c" (ld8 (v "text" +% v "p"));
+                ];
+              st8 (v "tmp" +% v "n") (i 0);
+              decl "slot" (call "sym_find" [ v "tmp" ]);
+              if_
+                (call "slot_live" [ v "slot" ]
+                &&% (v "depth" <% i max_expand_depth))
+                [
+                  expr
+                    (call "emit_expanded"
+                       [ call "sym_value" [ v "slot" ]; v "depth" +% i 1 ]);
+                ]
+                [ expr (call "print_string" [ i 0; v "tmp" ]) ];
+            ]
+            [
+              when_
+                ((v "c" ==% chr '"') ||% (v "c" ==% chr '\''))
+                [
+                  if_ (v "in_str" ==% i 0)
+                    [ set "in_str" (v "c") ]
+                    [
+                      when_ (v "in_str" ==% v "c") [ set "in_str" (i 0) ];
+                    ];
+                ];
+              putc (i 0) (v "c");
+              incr_ "p";
+              set "c" (ld8 (v "text" +% v "p"));
+            ];
+        ];
+      ret0;
+    ]
+
+let process_line =
+  func "process_line" [ "line" ]
+    [
+      expr (call "emit_expanded" [ v "line"; i 0 ]);
+      putc (i 0) (chr '\n');
+      ret0;
+    ]
+
+(* ---------- #if constant-expression evaluator ----------
+
+   Recursive descent over the directive line; the cursor lives in the
+   if_pos global.  Grammar (lowest to highest precedence):
+     or:   and ('||' and)*
+     and:  bor ('&&' bor)*
+     bor:  bxor ('|' bxor)*        bxor: band ('^' band)*
+     band: eq ('&' eq)*            eq:   rel (('=='|'!=') rel)*
+     rel:  shift (('<'|'>'|'<='|'>=') shift)*
+     shift: add (('<<'|'>>') add)*  add: mul (('+'|'-') mul)*
+     mul:  unary (('*'|'/'|'%') unary)*
+     unary: ('!'|'-'|'~') unary | primary
+     primary: number | defined(X) | defined X | ident (expands, else 0)
+            | '(' or ')' *)
+
+let if_skip_ws =
+  func "if_skip_ws" [ "line" ]
+    [
+      decl "p" (ld32 (g "if_pos"));
+      while_ (call "is_space" [ ld8 (v "line" +% v "p") ]) [ incr_ "p" ];
+      st32 (g "if_pos") (v "p");
+      ret (ld8 (v "line" +% v "p"));
+    ]
+
+(* Parse an identifier at the cursor into [out]; returns its length. *)
+let if_ident =
+  func "if_ident" [ "line"; "out" ]
+    [
+      decl "p" (ld32 (g "if_pos"));
+      decl "n" (i 0);
+      decl "c" (ld8 (v "line" +% v "p"));
+      while_ (call "ident_char" [ v "c" ])
+        [
+          when_ (v "n" <% i 127) [ st8 (v "out" +% v "n") (v "c"); incr_ "n" ];
+          incr_ "p";
+          set "c" (ld8 (v "line" +% v "p"));
+        ];
+      st8 (v "out" +% v "n") (i 0);
+      st32 (g "if_pos") (v "p");
+      ret (v "n");
+    ]
+
+let if_primary =
+  func "if_primary" [ "line"; "depth" ]
+    [
+      decl "c" (call "if_skip_ws" [ v "line" ]);
+      decl "p" (ld32 (g "if_pos"));
+      when_ (v "c" ==% chr '(')
+        [
+          st32 (g "if_pos") (v "p" +% i 1);
+          decl "inner" (call "if_or" [ v "line"; v "depth" ]);
+          when_ (call "if_skip_ws" [ v "line" ] ==% chr ')')
+            [ st32 (g "if_pos") (ld32 (g "if_pos") +% i 1) ];
+          ret (v "inner");
+        ];
+      when_ (call "is_digit" [ v "c" ])
+        [
+          decl "acc" (i 0);
+          while_ (call "is_digit" [ v "c" ])
+            [
+              set "acc" ((v "acc" *% i 10) +% (v "c" -% chr '0'));
+              set "p" (v "p" +% i 1);
+              set "c" (ld8 (v "line" +% v "p"));
+            ];
+          (* swallow integer suffixes like 1L / 2U *)
+          while_ (call "is_alpha" [ v "c" ])
+            [ set "p" (v "p" +% i 1); set "c" (ld8 (v "line" +% v "p")) ];
+          st32 (g "if_pos") (v "p");
+          ret (v "acc");
+        ];
+      when_ (call "ident_start" [ v "c" ])
+        [
+          decl "name" (alloc (i 128));
+          expr (call "if_ident" [ v "line"; v "name" ]);
+          if_ (call "strcmp" [ v "name"; g "kw_defined" ] ==% i 0)
+            [
+              (* defined(X) or defined X *)
+              decl "c2" (call "if_skip_ws" [ v "line" ]);
+              decl "paren" (i 0);
+              when_ (v "c2" ==% chr '(')
+                [
+                  set "paren" (i 1);
+                  st32 (g "if_pos") (ld32 (g "if_pos") +% i 1);
+                  expr (call "if_skip_ws" [ v "line" ]);
+                ];
+              expr (call "if_ident" [ v "line"; v "name" ]);
+              when_
+                ((v "paren" <>% i 0)
+                &&% (call "if_skip_ws" [ v "line" ] ==% chr ')'))
+                [ st32 (g "if_pos") (ld32 (g "if_pos") +% i 1) ];
+              ret (call "slot_live" [ call "sym_find" [ v "name" ] ]);
+            ]
+            [
+              (* a macro name evaluates to its (numeric) value when
+                 defined and expansion depth remains; otherwise 0 *)
+              decl "slot" (call "sym_find" [ v "name" ]);
+              when_
+                (call "slot_live" [ v "slot" ]
+                &&% (v "depth" <% i max_expand_depth))
+                [
+                  decl "saved" (ld32 (g "if_pos"));
+                  st32 (g "if_pos") (i 0);
+                  decl "value"
+                    (call "if_or"
+                       [ call "sym_value" [ v "slot" ]; v "depth" +% i 1 ]);
+                  st32 (g "if_pos") (v "saved");
+                  ret (v "value");
+                ];
+              ret (i 0);
+            ];
+        ];
+      (* unknown character: consume to avoid loops, value 0 *)
+      when_ (v "c" <>% i 0) [ st32 (g "if_pos") (v "p" +% i 1) ];
+      ret (i 0);
+    ]
+
+let if_unary =
+  func "if_unary" [ "line"; "depth" ]
+    [
+      decl "c" (call "if_skip_ws" [ v "line" ]);
+      when_ (v "c" ==% chr '!')
+        [
+          st32 (g "if_pos") (ld32 (g "if_pos") +% i 1);
+          ret (not_ (call "if_unary" [ v "line"; v "depth" ]));
+        ];
+      when_ (v "c" ==% chr '-')
+        [
+          st32 (g "if_pos") (ld32 (g "if_pos") +% i 1);
+          ret (neg (call "if_unary" [ v "line"; v "depth" ]));
+        ];
+      when_ (v "c" ==% chr '~')
+        [
+          st32 (g "if_pos") (ld32 (g "if_pos") +% i 1);
+          ret (call "if_unary" [ v "line"; v "depth" ] ^% (i 0 -% i 1));
+        ];
+      ret (call "if_primary" [ v "line"; v "depth" ]);
+    ]
+
+let if_mul =
+  func "if_mul" [ "line"; "depth" ]
+    [
+      decl "acc" (call "if_unary" [ v "line"; v "depth" ]);
+      while_ (i 1)
+        [
+          decl "c" (call "if_skip_ws" [ v "line" ]);
+          when_
+            (not_
+               ((v "c" ==% chr '*') ||% (v "c" ==% chr '/')
+               ||% (v "c" ==% chr '%')))
+            [ ret (v "acc") ];
+          st32 (g "if_pos") (ld32 (g "if_pos") +% i 1);
+          decl "rhs" (call "if_unary" [ v "line"; v "depth" ]);
+          if_ (v "c" ==% chr '*')
+            [ set "acc" (v "acc" *% v "rhs") ]
+            [
+              if_ (v "rhs" ==% i 0)
+                [ set "acc" (i 0) ]
+                [
+                  if_ (v "c" ==% chr '/')
+                    [ set "acc" (v "acc" /% v "rhs") ]
+                    [ set "acc" (v "acc" %% v "rhs") ];
+                ];
+            ];
+        ];
+      ret (v "acc");
+    ]
+
+let if_add =
+  func "if_add" [ "line"; "depth" ]
+    [
+      decl "acc" (call "if_mul" [ v "line"; v "depth" ]);
+      while_ (i 1)
+        [
+          decl "c" (call "if_skip_ws" [ v "line" ]);
+          when_ (not_ ((v "c" ==% chr '+') ||% (v "c" ==% chr '-')))
+            [ ret (v "acc") ];
+          st32 (g "if_pos") (ld32 (g "if_pos") +% i 1);
+          decl "rhs" (call "if_mul" [ v "line"; v "depth" ]);
+          if_ (v "c" ==% chr '+')
+            [ set "acc" (v "acc" +% v "rhs") ]
+            [ set "acc" (v "acc" -% v "rhs") ];
+        ];
+      ret (v "acc");
+    ]
+
+let if_shift =
+  func "if_shift" [ "line"; "depth" ]
+    [
+      decl "acc" (call "if_add" [ v "line"; v "depth" ]);
+      while_ (i 1)
+        [
+          decl "c" (call "if_skip_ws" [ v "line" ]);
+          decl "p" (ld32 (g "if_pos"));
+          decl "c2" (ld8 (v "line" +% v "p" +% i 1));
+          when_
+            (not_
+               (((v "c" ==% chr '<') &&% (v "c2" ==% chr '<'))
+               ||% ((v "c" ==% chr '>') &&% (v "c2" ==% chr '>'))))
+            [ ret (v "acc") ];
+          st32 (g "if_pos") (v "p" +% i 2);
+          decl "rhs" (call "if_add" [ v "line"; v "depth" ]);
+          if_ (v "c" ==% chr '<')
+            [ set "acc" (v "acc" <<% (v "rhs" &% i 31)) ]
+            [ set "acc" (v "acc" >>% (v "rhs" &% i 31)) ];
+        ];
+      ret (v "acc");
+    ]
+
+let if_rel =
+  func "if_rel" [ "line"; "depth" ]
+    [
+      decl "acc" (call "if_shift" [ v "line"; v "depth" ]);
+      while_ (i 1)
+        [
+          decl "c" (call "if_skip_ws" [ v "line" ]);
+          decl "p" (ld32 (g "if_pos"));
+          decl "c2" (ld8 (v "line" +% v "p" +% i 1));
+          (* exclude << >> (handled below us) and == != (above us);
+             accept < > <= >= *)
+          when_
+            (not_
+               (((v "c" ==% chr '<') &&% (v "c2" <>% chr '<'))
+               ||% ((v "c" ==% chr '>') &&% (v "c2" <>% chr '>'))))
+            [ ret (v "acc") ];
+          decl "eq" (v "c2" ==% chr '=');
+          st32 (g "if_pos") (v "p" +% i 1 +% v "eq");
+          decl "rhs" (call "if_shift" [ v "line"; v "depth" ]);
+          if_ (v "c" ==% chr '<')
+            [
+              if_ (v "eq")
+                [ set "acc" (v "acc" <=% v "rhs") ]
+                [ set "acc" (v "acc" <% v "rhs") ];
+            ]
+            [
+              if_ (v "eq")
+                [ set "acc" (v "acc" >=% v "rhs") ]
+                [ set "acc" (v "acc" >% v "rhs") ];
+            ];
+        ];
+      ret (v "acc");
+    ]
+
+let if_eq =
+  func "if_eq" [ "line"; "depth" ]
+    [
+      decl "acc" (call "if_rel" [ v "line"; v "depth" ]);
+      while_ (i 1)
+        [
+          decl "c" (call "if_skip_ws" [ v "line" ]);
+          decl "p" (ld32 (g "if_pos"));
+          decl "c2" (ld8 (v "line" +% v "p" +% i 1));
+          when_
+            (not_
+               (((v "c" ==% chr '=') &&% (v "c2" ==% chr '='))
+               ||% ((v "c" ==% chr '!') &&% (v "c2" ==% chr '='))))
+            [ ret (v "acc") ];
+          st32 (g "if_pos") (v "p" +% i 2);
+          decl "rhs" (call "if_rel" [ v "line"; v "depth" ]);
+          if_ (v "c" ==% chr '=')
+            [ set "acc" (v "acc" ==% v "rhs") ]
+            [ set "acc" (v "acc" <>% v "rhs") ];
+        ];
+      ret (v "acc");
+    ]
+
+let if_band =
+  func "if_band" [ "line"; "depth" ]
+    [
+      decl "acc" (call "if_eq" [ v "line"; v "depth" ]);
+      while_ (i 1)
+        [
+          decl "c" (call "if_skip_ws" [ v "line" ]);
+          decl "c2" (ld8 (v "line" +% ld32 (g "if_pos") +% i 1));
+          when_ (not_ ((v "c" ==% chr '&') &&% (v "c2" <>% chr '&')))
+            [ ret (v "acc") ];
+          st32 (g "if_pos") (ld32 (g "if_pos") +% i 1);
+          set "acc" (v "acc" &% call "if_eq" [ v "line"; v "depth" ]);
+        ];
+      ret (v "acc");
+    ]
+
+let if_bxor =
+  func "if_bxor" [ "line"; "depth" ]
+    [
+      decl "acc" (call "if_band" [ v "line"; v "depth" ]);
+      while_ (call "if_skip_ws" [ v "line" ] ==% chr '^')
+        [
+          st32 (g "if_pos") (ld32 (g "if_pos") +% i 1);
+          set "acc" (v "acc" ^% call "if_band" [ v "line"; v "depth" ]);
+        ];
+      ret (v "acc");
+    ]
+
+let if_bor =
+  func "if_bor" [ "line"; "depth" ]
+    [
+      decl "acc" (call "if_bxor" [ v "line"; v "depth" ]);
+      while_ (i 1)
+        [
+          decl "c" (call "if_skip_ws" [ v "line" ]);
+          decl "c2" (ld8 (v "line" +% ld32 (g "if_pos") +% i 1));
+          when_ (not_ ((v "c" ==% chr '|') &&% (v "c2" <>% chr '|')))
+            [ ret (v "acc") ];
+          st32 (g "if_pos") (ld32 (g "if_pos") +% i 1);
+          set "acc" (v "acc" |% call "if_bxor" [ v "line"; v "depth" ]);
+        ];
+      ret (v "acc");
+    ]
+
+(* The logical levels keep raw values and normalize to 0/1 only when an
+   operator actually applies, so "#if A" with A=3 sees 3, not 1. *)
+let if_and =
+  func "if_and" [ "line"; "depth" ]
+    [
+      decl "acc" (call "if_bor" [ v "line"; v "depth" ]);
+      while_ (i 1)
+        [
+          decl "c" (call "if_skip_ws" [ v "line" ]);
+          decl "c2" (ld8 (v "line" +% ld32 (g "if_pos") +% i 1));
+          when_ (not_ ((v "c" ==% chr '&') &&% (v "c2" ==% chr '&')))
+            [ ret (v "acc") ];
+          st32 (g "if_pos") (ld32 (g "if_pos") +% i 2);
+          decl "rhs" (call "if_bor" [ v "line"; v "depth" ]);
+          set "acc" ((v "acc" <>% i 0) &% (v "rhs" <>% i 0));
+        ];
+      ret (v "acc");
+    ]
+
+let if_or =
+  func "if_or" [ "line"; "depth" ]
+    [
+      decl "acc" (call "if_and" [ v "line"; v "depth" ]);
+      while_ (i 1)
+        [
+          decl "c" (call "if_skip_ws" [ v "line" ]);
+          decl "c2" (ld8 (v "line" +% ld32 (g "if_pos") +% i 1));
+          when_ (not_ ((v "c" ==% chr '|') &&% (v "c2" ==% chr '|')))
+            [ ret (v "acc") ];
+          st32 (g "if_pos") (ld32 (g "if_pos") +% i 2);
+          decl "rhs" (call "if_and" [ v "line"; v "depth" ]);
+          set "acc" ((v "acc" <>% i 0) |% (v "rhs" <>% i 0));
+        ];
+      ret (v "acc");
+    ]
+
+(* Evaluate the #if expression in [line] starting at offset [start]. *)
+let if_eval =
+  func "if_eval" [ "line"; "start" ]
+    [
+      st32 (g "if_pos") (v "start");
+      ret (call "if_or" [ v "line"; i 0 ] <>% i 0);
+    ]
+
+(* ---------- conditional stack ---------- *)
+
+let cond_depth = ld32 (g "cond_state")
+let cond_inactive = ld32 (g "cond_state" +% i 4)
+let set_cond_depth e = st32 (g "cond_state") e
+let set_cond_inactive e = st32 (g "cond_state" +% i 4) e
+
+(* Push a new conditional level with branch condition [cond]. *)
+let cond_push =
+  func "cond_push" [ "cond" ]
+    [
+      decl "d" (cond_depth +% i 1);
+      when_ (v "d" >=% i max_cond_depth) [ ret0 ];
+      set_cond_depth (v "d");
+      decl "parent" (cond_inactive ==% i 0);
+      decl "a" (v "parent" &% (v "cond" <>% i 0));
+      st8 (g "cond_active" +% v "d") (v "a");
+      (* "taken" suppresses later branches: set when this branch is taken
+         or when the parent is inactive (no branch may ever fire) *)
+      st8 (g "cond_taken" +% v "d") (v "a" |% not_ (v "parent"));
+      when_ (not_ (v "a")) [ set_cond_inactive (cond_inactive +% i 1) ];
+      ret0;
+    ]
+
+(* #elif with condition, #else is elif(1). *)
+let cond_else =
+  func "cond_else" [ "cond" ]
+    [
+      decl "d" (cond_depth);
+      when_ (v "d" ==% i 0) [ ret0 ];
+      if_ (ld8 (g "cond_active" +% v "d") <>% i 0)
+        [
+          (* leaving a taken branch *)
+          st8 (g "cond_active" +% v "d") (i 0);
+          set_cond_inactive (cond_inactive +% i 1);
+        ]
+        [
+          (* parent is active iff this level is the only inactive one *)
+          when_
+            ((ld8 (g "cond_taken" +% v "d") ==% i 0)
+            &&% (cond_inactive ==% i 1)
+            &&% (v "cond" <>% i 0))
+            [
+              st8 (g "cond_active" +% v "d") (i 1);
+              st8 (g "cond_taken" +% v "d") (i 1);
+              set_cond_inactive (cond_inactive -% i 1);
+            ];
+        ];
+      ret0;
+    ]
+
+let cond_pop =
+  func "cond_pop" []
+    [
+      decl "d" (cond_depth);
+      when_ (v "d" ==% i 0) [ ret0 ];
+      when_ (ld8 (g "cond_active" +% v "d") ==% i 0)
+        [ set_cond_inactive (cond_inactive -% i 1) ];
+      set_cond_depth (v "d" -% i 1);
+      ret0;
+    ]
+
+let emitting = cond_inactive ==% i 0
+
+(* ---------- directive handling and main loop ---------- *)
+
+let handle_directive =
+  func "handle_directive" [ "line"; "word"; "marg"; "value" ]
+    [
+      decl "pos_cell" (alloc (i 4));
+      st32 (v "pos_cell") (i 1);
+      expr (call "scan_word" [ v "line"; v "pos_cell"; v "word"; i 128 ]);
+      (* #define NAME value *)
+      when_ (call "strcmp" [ v "word"; g "kw_define" ] ==% i 0)
+        [
+          when_ emitting
+            [
+              expr (call "scan_word" [ v "line"; v "pos_cell"; v "marg"; i 128 ]);
+              expr (call "scan_rest" [ v "line"; v "pos_cell"; v "value"; i 512 ]);
+              expr (call "sym_define" [ v "marg"; v "value" ]);
+            ];
+          ret0;
+        ];
+      when_ (call "strcmp" [ v "word"; g "kw_undef" ] ==% i 0)
+        [
+          when_ emitting
+            [
+              expr (call "scan_word" [ v "line"; v "pos_cell"; v "marg"; i 128 ]);
+              expr (call "sym_undef" [ v "marg" ]);
+            ];
+          ret0;
+        ];
+      when_ (call "strcmp" [ v "word"; g "kw_ifdef" ] ==% i 0)
+        [
+          expr (call "scan_word" [ v "line"; v "pos_cell"; v "marg"; i 128 ]);
+          expr
+            (call "cond_push"
+               [ call "slot_live" [ call "sym_find" [ v "marg" ] ] ]);
+          ret0;
+        ];
+      when_ (call "strcmp" [ v "word"; g "kw_ifndef" ] ==% i 0)
+        [
+          expr (call "scan_word" [ v "line"; v "pos_cell"; v "marg"; i 128 ]);
+          expr
+            (call "cond_push"
+               [ not_ (call "slot_live" [ call "sym_find" [ v "marg" ] ]) ]);
+          ret0;
+        ];
+      when_ (call "strcmp" [ v "word"; g "kw_if" ] ==% i 0)
+        [
+          expr
+            (call "cond_push"
+               [ call "if_eval" [ v "line"; ld32 (v "pos_cell") ] ]);
+          ret0;
+        ];
+      when_ (call "strcmp" [ v "word"; g "kw_elif" ] ==% i 0)
+        [
+          (* evaluate lazily: only when the branch could fire *)
+          if_
+            ((cond_depth >% i 0)
+            &&% (ld8 (g "cond_active" +% cond_depth) ==% i 0)
+            &&% (ld8 (g "cond_taken" +% cond_depth) ==% i 0)
+            &&% (cond_inactive ==% i 1))
+            [
+              expr
+                (call "cond_else"
+                   [ call "if_eval" [ v "line"; ld32 (v "pos_cell") ] ]);
+            ]
+            [ expr (call "cond_else" [ i 0 ]) ];
+          ret0;
+        ];
+      when_ (call "strcmp" [ v "word"; g "kw_else" ] ==% i 0)
+        [ expr (call "cond_else" [ i 1 ]); ret0 ];
+      when_ (call "strcmp" [ v "word"; g "kw_endif" ] ==% i 0)
+        [ expr (call "cond_pop" []); ret0 ];
+      when_ (call "strcmp" [ v "word"; g "kw_include" ] ==% i 0)
+        [
+          when_ emitting
+            [
+              (* parse the "name" between quotes *)
+              decl "p" (ld32 (v "pos_cell"));
+              while_
+                ((ld8 (v "line" +% v "p") <>% i 0)
+                &&% (ld8 (v "line" +% v "p") <>% chr '"'))
+                [ incr_ "p" ];
+              when_ (ld8 (v "line" +% v "p") ==% chr '"')
+                [
+                  incr_ "p";
+                  decl "n" (i 0);
+                  while_
+                    ((ld8 (v "line" +% v "p") <>% i 0)
+                    &&% (ld8 (v "line" +% v "p") <>% chr '"')
+                    &&% (v "n" <% i 127))
+                    [
+                      st8 (v "marg" +% v "n") (ld8 (v "line" +% v "p"));
+                      incr_ "n";
+                      incr_ "p";
+                    ];
+                  st8 (v "marg" +% v "n") (i 0);
+                  expr (call "inc_push" [ v "marg" ]);
+                ];
+            ];
+          ret0;
+        ];
+      (* unknown directives: count and drop *)
+      st32 (g "cond_state" +% i 8) (ld32 (g "cond_state" +% i 8) +% i 1);
+      ret0;
+    ]
+
+let main =
+  func "main" []
+    [
+      decl "line" (alloc (i 1024));
+      decl "word" (alloc (i 128));
+      decl "marg" (alloc (i 128));
+      decl "value" (alloc (i 512));
+      decl "nlines" (i 0);
+      expr (call "inc_load" []);
+      (* built-in macros *)
+      expr (call "sym_define" [ g "builtin_std"; g "builtin_std_val" ]);
+      expr (call "sym_define" [ g "builtin_impact"; g "builtin_impact_val" ]);
+      decl "len" (call "cpp_read_line" [ v "line"; i 1024 ]);
+      while_ (v "len" >=% i 0)
+        [
+          incr_ "nlines";
+          if_
+            (ld8 (v "line") ==% chr '#')
+            [
+              expr
+                (call "handle_directive" [ v "line"; v "word"; v "marg"; v "value" ]);
+            ]
+            [
+              when_ emitting [ expr (call "process_line" [ v "line" ]) ];
+            ];
+          set "len" (call "cpp_read_line" [ v "line"; i 1024 ]);
+        ];
+      ret (v "nlines");
+    ]
+
+let funcs =
+  [
+    arena_add; sym_find; slot_live; sym_define; sym_undef; sym_value;
+    inc_load; inc_push; cpp_getc; cpp_read_line; scan_word; scan_rest;
+    ident_start; ident_char; emit_expanded; process_line; if_skip_ws;
+    if_ident; if_primary; if_unary; if_mul; if_add; if_shift; if_rel;
+    if_eq; if_band; if_bxor; if_bor; if_and; if_or; if_eval; cond_push;
+    cond_else; cond_pop; handle_directive; main;
+  ]
+
+let benchmark =
+  Bench.make ~name:"cccp"
+    ~description:"C sources with macros, conditionals and includes (100-2600 lines)"
+    ~ast:(fun () -> Libc.link ~globals ~entry:"main" funcs)
+    ~profile_inputs:(fun () ->
+      List.map
+        (fun (seed, lines) ->
+          let source, includes = Inputs.cpp_source_with_includes ~seed ~lines in
+          Vm.Io.input
+            ~label:(Printf.sprintf "cpp source %d lines" lines)
+            [ source; includes ])
+        [ (21, 100); (22, 250); (23, 400); (24, 550); (25, 700);
+          (26, 850); (27, 1000); (28, 1400) ])
+    ~trace_input:(fun () ->
+      let source, includes =
+        Inputs.cpp_source_with_includes ~seed:500 ~lines:2600
+      in
+      Vm.Io.input ~label:"cpp source 2600 lines" [ source; includes ])

@@ -1,0 +1,94 @@
+(* cmp: byte-by-byte comparison of two input streams, like UNIX cmp.
+   Default mode reports the first difference (offset and line) and the
+   total number of differing bytes; with argument 0 = 1 (like cmp -l) it
+   prints every differing position with both byte values (in octal, as
+   cmp does), up to a reporting cap. *)
+
+open Ir.Ast.Dsl
+
+let verbose_cap = 256
+
+(* Print a byte as three octal digits. *)
+let put_octal3 =
+  func "put_octal3" [ "b" ]
+    [
+      putc (i 0) ((v "b" >>% i 6) +% chr '0');
+      putc (i 0) (((v "b" >>% i 3) &% i 7) +% chr '0');
+      putc (i 0) ((v "b" &% i 7) +% chr '0');
+      ret0;
+    ]
+
+let main =
+  func "main" []
+    [
+      decl "verbose" (arg 0);
+      decl "pos" (i 0);
+      decl "line" (i 1);
+      decl "diffs" (i 0);
+      decl "first" (i 0 -% i 1);
+      decl "a" (getc (i 0));
+      decl "b" (getc (i 1));
+      while_ ((v "a" >=% i 0) &&% (v "b" >=% i 0))
+        [
+          when_ (v "a" <>% v "b")
+            [
+              incr_ "diffs";
+              when_ (v "first" <% i 0) [ set "first" (v "pos") ];
+              when_
+                ((v "verbose" <>% i 0) &&% (v "diffs" <=% i verbose_cap))
+                [
+                  expr (call "print_num" [ i 0; v "pos" +% i 1 ]);
+                  putc (i 0) (chr ' ');
+                  expr (call "put_octal3" [ v "a" ]);
+                  putc (i 0) (chr ' ');
+                  expr (call "put_octal3" [ v "b" ]);
+                  putc (i 0) (chr '\n');
+                ];
+            ];
+          when_ (v "a" ==% chr '\n') [ incr_ "line" ];
+          incr_ "pos";
+          set "a" (getc (i 0));
+          set "b" (getc (i 1));
+        ];
+      (* Length mismatch counts as a difference at the current offset. *)
+      when_
+        ((v "a" >=% i 0) ||% (v "b" >=% i 0))
+        [
+          incr_ "diffs";
+          when_ (v "first" <% i 0) [ set "first" (v "pos") ];
+        ];
+      when_ ((v "diffs" >% i 0) &&% (v "verbose" ==% i 0))
+        [
+          expr (call "print_string" [ i 0; g "msg_differ" ]);
+          expr (call "print_num" [ i 0; v "first" ]);
+          putc (i 0) (chr ' ');
+          expr (call "print_num" [ i 0; v "line" ]);
+          putc (i 0) (chr '\n');
+        ];
+      expr (call "print_num" [ i 0; v "diffs" ]);
+      putc (i 0) (chr '\n');
+      ret (v "diffs");
+    ]
+
+let globals = [ ("msg_differ", Ir.Ast.Gstring "differ: ") ]
+
+let pair seed noise bytes =
+  let base = Inputs.text ~seed ~bytes in
+  [ base; Inputs.mutate ~seed:(seed * 7 + 1) ~noise_per_mille:noise base ]
+
+let benchmark =
+  Bench.make ~name:"cmp"
+    ~description:"similar/dissimilar text file pairs"
+    ~ast:(fun () -> Libc.link ~globals ~entry:"main" [ put_octal3; main ])
+    ~profile_inputs:(fun () ->
+      List.concat_map
+        (fun seed ->
+          [
+            Vm.Io.input ~label:"similar pair" (pair seed 2 (8_000 + (seed * 900)));
+            Vm.Io.input ~label:"dissimilar pair" (pair (seed + 50) 400 (6_000 + (seed * 700)));
+            Vm.Io.input ~label:"similar pair, -l" ~args:[ 1 ]
+              (pair (seed + 100) 5 (4_000 + (seed * 500)));
+          ])
+        [ 1; 2; 3; 4 ])
+    ~trace_input:(fun () ->
+      Vm.Io.input ~label:"similar 100KB pair" (pair 77 1 100_000))

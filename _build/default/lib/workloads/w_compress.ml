@@ -1,0 +1,181 @@
+(* compress: LZW with 12-bit codes, like UNIX compress/uncompress.
+
+   Mode is selected by argument 0: 0 compresses stream 0 onto the output
+   (hash table mapping (prefix code, next byte) -> dictionary code,
+   emitting 16-bit big-endian codes); 1 decompresses a code stream back
+   to bytes (prefix/last-char arrays plus the classic string-reversal
+   stack, including the KwKwK corner case).  Having both directions in
+   one binary gives the benchmark a large never-executed region when only
+   one direction is traced, as with the real uncompress-linked binary. *)
+
+open Ir.Ast.Dsl
+
+let table_size = 8192 (* compressor hash slots, power of two *)
+let max_code = 4096 (* 12-bit dictionary *)
+
+(* Linear-probing lookup: returns the slot holding [key] or the first
+   empty slot.  Keys are stored biased by +1 so 0 means empty. *)
+let ht_lookup =
+  func "ht_lookup" [ "keys"; "key" ]
+    [
+      decl "h" ((v "key" *% i 2654435761) &% i 0x7fffffff);
+      decl "slot" (v "h" &% i (table_size - 1));
+      decl "stored" (ld32 (v "keys" +% (v "slot" *% i 4)));
+      while_ ((v "stored" <>% i 0) &&% (v "stored" <>% (v "key" +% i 1)))
+        [
+          set "slot" ((v "slot" +% i 1) &% i (table_size - 1));
+          set "stored" (ld32 (v "keys" +% (v "slot" *% i 4)));
+        ];
+      ret (v "slot");
+    ]
+
+(* Emit one dictionary code as two bytes, big-endian. *)
+let emit_code =
+  func "emit_code" [ "code" ]
+    [
+      putc (i 0) (v "code" >>% i 8);
+      putc (i 0) (v "code" &% i 255);
+      ret0;
+    ]
+
+let do_compress =
+  func "do_compress" []
+    [
+      decl "keys" (alloc (i (table_size * 4)));
+      decl "codes" (alloc (i (table_size * 4)));
+      decl "next_code" (i 256);
+      decl "emitted" (i 0);
+      decl "prefix" (getc (i 0));
+      when_ (v "prefix" <% i 0) [ ret (i 0) ];
+      decl "c" (getc (i 0));
+      while_ (v "c" >=% i 0)
+        [
+          decl "key" ((v "prefix" *% i 256) +% v "c");
+          decl "slot" (call "ht_lookup" [ v "keys"; v "key" ]);
+          decl "addr" (v "keys" +% (v "slot" *% i 4));
+          if_
+            (ld32 (v "addr") <>% i 0)
+            [ set "prefix" (ld32 (v "codes" +% (v "slot" *% i 4))) ]
+            [
+              expr (call "emit_code" [ v "prefix" ]);
+              incr_ "emitted";
+              when_ (v "next_code" <% i max_code)
+                [
+                  st32 (v "addr") (v "key" +% i 1);
+                  st32 (v "codes" +% (v "slot" *% i 4)) (v "next_code");
+                  incr_ "next_code";
+                ];
+              set "prefix" (v "c");
+            ];
+          set "c" (getc (i 0));
+        ];
+      expr (call "emit_code" [ v "prefix" ]);
+      incr_ "emitted";
+      ret (v "emitted");
+    ]
+
+(* ---------- decompression ---------- *)
+
+(* Read the next 16-bit code, -1 at end of input. *)
+let read_code =
+  func "read_code" []
+    [
+      decl "hi" (getc (i 0));
+      when_ (v "hi" <% i 0) [ ret (i 0 -% i 1) ];
+      decl "lo" (getc (i 0));
+      when_ (v "lo" <% i 0) [ ret (i 0 -% i 1) ];
+      ret ((v "hi" *% i 256) +% v "lo");
+    ]
+
+(* Emit the string for [code] using the prefix chain and the reversal
+   stack; returns the string's first byte. *)
+let emit_entry =
+  func "emit_entry" [ "code"; "prefix_tbl"; "last_tbl"; "stack" ]
+    [
+      decl "k" (i 0);
+      while_ (v "code" >=% i 256)
+        [
+          st8 (v "stack" +% v "k") (ld8 (v "last_tbl" +% v "code"));
+          incr_ "k";
+          set "code" (ld32 (v "prefix_tbl" +% (v "code" *% i 4)));
+        ];
+      putc (i 0) (v "code");
+      while_ (v "k" >% i 0)
+        [ decr_ "k"; putc (i 0) (ld8 (v "stack" +% v "k")) ];
+      ret (v "code");
+    ]
+
+let do_decompress =
+  func "do_decompress" []
+    [
+      decl "prefix_tbl" (alloc (i (max_code * 4)));
+      decl "last_tbl" (alloc (i max_code));
+      decl "stack" (alloc (i max_code));
+      decl "next_code" (i 256);
+      decl "prev" (call "read_code" []);
+      when_ (v "prev" <% i 0) [ ret (i 0) ];
+      when_ (v "prev" >=% i 256) [ ret (i 0 -% i 1) ]; (* corrupt stream *)
+      putc (i 0) (v "prev");
+      decl "ndecoded" (i 1);
+      decl "code" (call "read_code" []);
+      while_ (v "code" >=% i 0)
+        [
+          decl "first" (i 0);
+          if_ (v "code" <% v "next_code")
+            [
+              set "first"
+                (call "emit_entry"
+                   [ v "code"; v "prefix_tbl"; v "last_tbl"; v "stack" ]);
+            ]
+            [
+              (* KwKwK: the code being defined right now *)
+              set "first"
+                (call "emit_entry"
+                   [ v "prev"; v "prefix_tbl"; v "last_tbl"; v "stack" ]);
+              putc (i 0) (v "first");
+            ];
+          when_ (v "next_code" <% i max_code)
+            [
+              st32 (v "prefix_tbl" +% (v "next_code" *% i 4)) (v "prev");
+              st8 (v "last_tbl" +% v "next_code") (v "first");
+              incr_ "next_code";
+            ];
+          set "prev" (v "code");
+          incr_ "ndecoded";
+          set "code" (call "read_code" []);
+        ];
+      ret (v "ndecoded");
+    ]
+
+let main =
+  func "main" []
+    [
+      if_ (arg 0 ==% i 1)
+        [ ret (call "do_decompress" []) ]
+        [ ret (call "do_compress" []) ];
+    ]
+
+let benchmark =
+  Bench.make ~name:"compress"
+    ~description:"LZW compression/decompression of sources and text"
+    ~ast:(fun () ->
+      Libc.link ~entry:"main"
+        [ ht_lookup; emit_code; do_compress; read_code; emit_entry;
+          do_decompress; main ])
+    ~profile_inputs:(fun () ->
+      [
+        Vm.Io.input ~label:"c source" [ Inputs.c_source ~seed:11 ~lines:600 ];
+        Vm.Io.input ~label:"c source" [ Inputs.c_source ~seed:12 ~lines:900 ];
+        Vm.Io.input ~label:"repetitive text"
+          [ Inputs.compressible ~seed:13 ~bytes:25_000 ];
+        Vm.Io.input ~label:"decompress codes" ~args:[ 1 ]
+          [ Inputs.lzw_compress (Inputs.compressible ~seed:14 ~bytes:30_000) ];
+        Vm.Io.input ~label:"prose text" [ Inputs.text ~seed:15 ~bytes:20_000 ];
+        Vm.Io.input ~label:"c source" [ Inputs.c_source ~seed:16 ~lines:400 ];
+        Vm.Io.input ~label:"decompress codes" ~args:[ 1 ]
+          [ Inputs.lzw_compress (Inputs.text ~seed:17 ~bytes:18_000) ];
+        Vm.Io.input ~label:"prose text" [ Inputs.text ~seed:18 ~bytes:30_000 ];
+      ])
+    ~trace_input:(fun () ->
+      Vm.Io.input ~label:"repetitive 120KB"
+        [ Inputs.compressible ~seed:200 ~bytes:120_000 ])

@@ -1,0 +1,249 @@
+(* grep: print input lines matching a pattern, like UNIX grep with the
+   classic K&R regular-expression subset extended with character classes:
+
+     c      literal            .      any character
+     e*     zero or more e     ^ / $  line anchors
+     [abc]  class              [^abc] negated class
+     [a-z]  ranges inside classes
+
+   Options arrive as an argument bitmask (argv style): 1 = -v invert,
+   2 = -c count only, 4 = -i ignore case, 8 = -n number lines.  Multiple
+   patterns may be supplied (one per line on stream 1); a line matches if
+   any pattern does, as with grep -e.  The matcher is recursive, which
+   exercises the inliner's recursion guard. *)
+
+open Ir.Ast.Dsl
+
+let opt_invert = 1
+let opt_count = 2
+let opt_icase = 4
+let opt_number = 8
+
+(* Length in bytes of the pattern element starting at [re] (a literal,
+   '.', or a [...] class). *)
+let elem_len =
+  func "elem_len" [ "re" ]
+    [
+      when_ (ld8 (v "re") <>% chr '[') [ ret (i 1) ];
+      decl "n" (i 1);
+      when_ (ld8 (v "re" +% i 1) ==% chr '^') [ incr_ "n" ];
+      (* a ']' directly after '[' (or '[^') is a literal member *)
+      when_ (ld8 (v "re" +% v "n") ==% chr ']') [ incr_ "n" ];
+      while_
+        ((ld8 (v "re" +% v "n") <>% i 0) &&% (ld8 (v "re" +% v "n") <>% chr ']'))
+        [ incr_ "n" ];
+      when_ (ld8 (v "re" +% v "n") ==% chr ']') [ incr_ "n" ];
+      ret (v "n");
+    ]
+
+(* Does the single pattern element at [re] match character [c]? *)
+let match_one =
+  func "match_one" [ "re"; "c" ]
+    [
+      when_ (v "c" ==% i 0) [ ret (i 0) ];
+      decl "r0" (ld8 (v "re"));
+      when_ (v "r0" ==% chr '.') [ ret (i 1) ];
+      when_ (v "r0" <>% chr '[') [ ret (v "r0" ==% v "c") ];
+      (* character class *)
+      decl "p" (i 1);
+      decl "negate" (i 0);
+      when_ (ld8 (v "re" +% i 1) ==% chr '^')
+        [ set "negate" (i 1); incr_ "p" ];
+      decl "hit" (i 0);
+      decl "first" (i 1);
+      decl "rc" (ld8 (v "re" +% v "p"));
+      while_
+        ((v "rc" <>% i 0) &&% ((v "rc" <>% chr ']') ||% (v "first" ==% i 1)))
+        [
+          set "first" (i 0);
+          if_
+            ((ld8 (v "re" +% v "p" +% i 1) ==% chr '-')
+            &&% (ld8 (v "re" +% v "p" +% i 2) <>% chr ']')
+            &&% (ld8 (v "re" +% v "p" +% i 2) <>% i 0))
+            [
+              (* range a-b *)
+              when_
+                ((v "c" >=% v "rc") &&% (v "c" <=% ld8 (v "re" +% v "p" +% i 2)))
+                [ set "hit" (i 1) ];
+              set "p" (v "p" +% i 3);
+            ]
+            [
+              when_ (v "rc" ==% v "c") [ set "hit" (i 1) ];
+              incr_ "p";
+            ];
+          set "rc" (ld8 (v "re" +% v "p"));
+        ];
+      if_ (v "negate") [ ret (not_ (v "hit")) ] [ ret (v "hit") ];
+    ]
+
+(* match_here(re, text) -> 1 when the pattern matches at the start of
+   text. *)
+let match_here =
+  func "match_here" [ "re"; "text" ]
+    [
+      decl "r0" (ld8 (v "re"));
+      when_ (v "r0" ==% i 0) [ ret (i 1) ];
+      decl "el" (call "elem_len" [ v "re" ]);
+      when_ (ld8 (v "re" +% v "el") ==% chr '*')
+        [
+          ret
+            (call "match_star"
+               [ v "re"; v "re" +% v "el" +% i 1; v "text" ]);
+        ];
+      when_ ((v "r0" ==% chr '$') &&% (ld8 (v "re" +% i 1) ==% i 0))
+        [ ret (ld8 (v "text") ==% i 0) ];
+      when_ (call "match_one" [ v "re"; ld8 (v "text") ])
+        [ ret (call "match_here" [ v "re" +% v "el"; v "text" +% i 1 ]) ];
+      ret (i 0);
+    ]
+
+(* match_star(elem, rest, text): match elem* followed by rest. *)
+let match_star =
+  func "match_star" [ "elem"; "rest"; "text" ]
+    [
+      decl "idx" (i 0);
+      while_ (i 1)
+        [
+          when_ (call "match_here" [ v "rest"; v "text" +% v "idx" ])
+            [ ret (i 1) ];
+          when_ (not_ (call "match_one" [ v "elem"; ld8 (v "text" +% v "idx") ]))
+            [ ret (i 0) ];
+          incr_ "idx";
+        ];
+      ret (i 0);
+    ]
+
+let match_pattern =
+  func "match_pattern" [ "re"; "text" ]
+    [
+      when_ (ld8 (v "re") ==% chr '^')
+        [ ret (call "match_here" [ v "re" +% i 1; v "text" ]) ];
+      decl "idx" (i 0);
+      do_while
+        [
+          when_ (call "match_here" [ v "re"; v "text" +% v "idx" ])
+            [ ret (i 1) ];
+          incr_ "idx";
+        ]
+        (ld8 (v "text" +% (v "idx" -% i 1)) <>% i 0);
+      ret (i 0);
+    ]
+
+(* Lowercase a line in place (for -i). *)
+let lower_line =
+  func "lower_line" [ "s" ]
+    [
+      decl "p" (i 0);
+      decl "c" (ld8 (v "s"));
+      while_ (v "c" <>% i 0)
+        [
+          st8 (v "s" +% v "p") (call "to_lower" [ v "c" ]);
+          incr_ "p";
+          set "c" (ld8 (v "s" +% v "p"));
+        ];
+      ret0;
+    ]
+
+(* Patterns on stream 1, one per line; text on stream 0; options in
+   arg 0. *)
+let max_patterns = 16
+
+let main =
+  func "main" []
+    [
+      decl "opts" (arg 0);
+      decl "patterns" (alloc (i (128 * max_patterns)));
+      decl "npat" (i 0);
+      decl "plen"
+        (call "read_line" [ i 1; v "patterns"; i 128 ]);
+      while_ ((v "plen" >=% i 0) &&% (v "npat" <% i max_patterns))
+        [
+          when_ (v "plen" >% i 0)
+            [
+              when_ ((v "opts" &% i opt_icase) <>% i 0)
+                [ expr (call "lower_line" [ v "patterns" +% (v "npat" *% i 128) ]) ];
+              incr_ "npat";
+            ];
+          set "plen"
+            (call "read_line"
+               [ i 1; v "patterns" +% (v "npat" *% i 128); i 128 ]);
+        ];
+      when_ (v "npat" ==% i 0) [ ret (i 0 -% i 2) ];
+      decl "line" (alloc (i 512));
+      decl "shadow" (alloc (i 512));
+      decl "matches" (i 0);
+      decl "lineno" (i 0);
+      decl "len" (call "read_line" [ i 0; v "line"; i 512 ]);
+      while_ (v "len" >=% i 0)
+        [
+          incr_ "lineno";
+          (* match against the case-folded shadow when -i *)
+          decl "subject" (v "line");
+          when_ ((v "opts" &% i opt_icase) <>% i 0)
+            [
+              expr (call "strcpy" [ v "shadow"; v "line" ]);
+              expr (call "lower_line" [ v "shadow" ]);
+              set "subject" (v "shadow");
+            ];
+          decl "hit" (i 0);
+          decl "k" (i 0);
+          while_ ((v "k" <% v "npat") &&% (v "hit" ==% i 0))
+            [
+              when_
+                (call "match_pattern"
+                   [ v "patterns" +% (v "k" *% i 128); v "subject" ])
+                [ set "hit" (i 1) ];
+              incr_ "k";
+            ];
+          when_ ((v "opts" &% i opt_invert) <>% i 0)
+            [ set "hit" (not_ (v "hit")) ];
+          when_ (v "hit")
+            [
+              incr_ "matches";
+              when_ ((v "opts" &% i opt_count) ==% i 0)
+                [
+                  when_ ((v "opts" &% i opt_number) <>% i 0)
+                    [
+                      expr (call "print_num" [ i 0; v "lineno" ]);
+                      putc (i 0) (chr ':');
+                    ];
+                  expr (call "print_string" [ i 0; v "line" ]);
+                  putc (i 0) (chr '\n');
+                ];
+            ];
+          set "len" (call "read_line" [ i 0; v "line"; i 512 ]);
+        ];
+      when_ ((v "opts" &% i opt_count) <>% i 0)
+        [
+          expr (call "print_num" [ i 0; v "matches" ]);
+          putc (i 0) (chr '\n');
+        ];
+      ret (v "matches");
+    ]
+
+let patterns = [| "the"; "ab.c*d"; "^qu"; "ing$"; "a.c"; "zq*a"; "[aeiou][mnr]"; "[^a-m]x*[yz]" |]
+
+let benchmark =
+  Bench.make ~name:"grep"
+    ~description:"patterns with ., *, ^, $, [] over text; -v/-c/-i/-n options"
+    ~ast:(fun () ->
+      Libc.link ~entry:"main"
+        [
+          elem_len; match_one; match_here; match_star; match_pattern;
+          lower_line; main;
+        ])
+    ~profile_inputs:(fun () ->
+      List.mapi
+        (fun idx pattern ->
+          let opts = [| 0; 0; opt_icase; opt_number; 0; opt_count; 0; opt_invert |] in
+          Vm.Io.input
+            ~label:("pattern " ^ pattern)
+            ~args:[ opts.(idx mod Array.length opts) ]
+            [
+              Inputs.text ~seed:(idx + 10) ~bytes:(12_000 + (idx * 2500));
+              pattern ^ "\n";
+            ])
+        (Array.to_list patterns))
+    ~trace_input:(fun () ->
+      Vm.Io.input ~label:"two patterns over 80KB"
+        [ Inputs.text ~seed:321 ~bytes:80_000; "a.c\n[aeiou]q*[a-f]\n" ])

@@ -1,0 +1,436 @@
+(* make: parse makefile-like rules and evaluate the dependency graph, like
+   UNIX make.
+
+   Supported:
+   - rules "target: dep dep ..." with tab-indented command lines;
+   - variable definitions "NAME = value" and recursive $(NAME) expansion
+     in dependency lists and commands;
+   - automatic variables $@ (target) and $< (first dependency) in
+     commands;
+   - pseudo modification times derived from name hashes; a target is
+     rebuilt (its commands "executed", i.e. expanded and printed) when any
+     dependency is newer; evaluation is a recursive depth-first walk with
+     memoization;
+   - dependency resolution by linear name search, as in the historical
+     implementation. *)
+
+open Ir.Ast.Dsl
+
+let max_targets = 512
+let max_deps = 4096
+let max_cmds = 2048
+let var_slots = 256
+let max_expand_depth = 8
+
+let globals =
+  [
+    ("mk_names", Ir.Ast.Gzero 98304);
+    ("mk_names_next", Ir.Ast.Gzero 4);
+    ("mk_cmds", Ir.Ast.Gzero 65536);
+    ("mk_cmds_next", Ir.Ast.Gzero 4);
+    (* per-target fields, one word each *)
+    ("mk_name_off", Ir.Ast.Gzero (max_targets * 4));
+    ("mk_ndeps", Ir.Ast.Gzero (max_targets * 4));
+    ("mk_dep0", Ir.Ast.Gzero (max_targets * 4));
+    ("mk_ncmds", Ir.Ast.Gzero (max_targets * 4));
+    ("mk_cmd0", Ir.Ast.Gzero (max_targets * 4));
+    ("mk_time", Ir.Ast.Gzero (max_targets * 4));
+    ("mk_built", Ir.Ast.Gzero (max_targets * 4));
+    ("mk_deps", Ir.Ast.Gzero (max_deps * 4)); (* dep name offsets *)
+    ("mk_cmd_idx", Ir.Ast.Gzero (max_cmds * 4)); (* command offsets *)
+    ("mk_counts", Ir.Ast.Gzero 16); (* 0 ntargets, 1 ndeps, 2 ncmds, 3 rebuilt *)
+    (* variables: open-addressing hash, names and values in one arena *)
+    ("mkv_name", Ir.Ast.Gzero (var_slots * 4)); (* arena offset + 1; 0 empty *)
+    ("mkv_value", Ir.Ast.Gzero (var_slots * 4));
+    ("mkv_arena", Ir.Ast.Gzero 16384);
+    ("mkv_next", Ir.Ast.Gzero 4);
+    (* automatic-variable context while running commands *)
+    ("mk_at", Ir.Ast.Gzero 4); (* address of current target name *)
+    ("mk_lt", Ir.Ast.Gzero 4); (* address of first dependency name *)
+  ]
+
+let count slot = ld32 (g "mk_counts" +% i (slot * 4))
+let set_count slot e = st32 (g "mk_counts" +% i (slot * 4)) e
+let field name idx = ld32 (g name +% (idx *% i 4))
+let set_field name idx e = st32 (g name +% (idx *% i 4)) e
+
+(* ---------- variables ---------- *)
+
+let mkv_add_arena =
+  func "mkv_add_arena" [ "s" ]
+    [
+      decl "off" (ld32 (g "mkv_next"));
+      expr (call "strcpy" [ g "mkv_arena" +% v "off"; v "s" ]);
+      st32 (g "mkv_next") (v "off" +% call "strlen" [ v "s" ] +% i 1);
+      ret (v "off");
+    ]
+
+let mkv_find =
+  func "mkv_find" [ "name" ]
+    [
+      decl "h" (call "hash_string" [ v "name"; i var_slots ]);
+      decl "probes" (i 0);
+      while_ (v "probes" <% i var_slots)
+        [
+          decl "e" (ld32 (g "mkv_name" +% (v "h" *% i 4)));
+          when_ (v "e" ==% i 0) [ ret (v "h") ];
+          when_
+            (call "strcmp" [ v "name"; g "mkv_arena" +% (v "e" -% i 1) ] ==% i 0)
+            [ ret (v "h") ];
+          set "h" ((v "h" +% i 1) &% i (var_slots - 1));
+          incr_ "probes";
+        ];
+      ret (i 0);
+    ]
+
+let mkv_define =
+  func "mkv_define" [ "name"; "value" ]
+    [
+      decl "slot" (call "mkv_find" [ v "name" ]);
+      when_ (ld32 (g "mkv_name" +% (v "slot" *% i 4)) ==% i 0)
+        [
+          st32 (g "mkv_name" +% (v "slot" *% i 4))
+            (call "mkv_add_arena" [ v "name" ] +% i 1);
+        ];
+      st32 (g "mkv_value" +% (v "slot" *% i 4))
+        (call "mkv_add_arena" [ v "value" ]);
+      ret0;
+    ]
+
+(* Expand $(NAME), $@ and $< of [src] into [dst] (size [max]); returns the
+   expanded length.  Nested variable values expand recursively up to a
+   depth limit. *)
+let expand_into =
+  func "expand_into" [ "src"; "dst"; "max"; "depth" ]
+    [
+      decl "p" (i 0);
+      decl "n" (i 0);
+      decl "c" (ld8 (v "src"));
+      while_ ((v "c" <>% i 0) &&% (v "n" <% (v "max" -% i 1)))
+        [
+          if_ (v "c" ==% chr '$')
+            [
+              decl "c2" (ld8 (v "src" +% v "p" +% i 1));
+              if_ (v "c2" ==% chr '(')
+                [
+                  (* $(NAME) *)
+                  decl "name" (alloc (i 64));
+                  decl "k" (i 0);
+                  set "p" (v "p" +% i 2);
+                  set "c" (ld8 (v "src" +% v "p"));
+                  while_
+                    ((v "c" <>% i 0) &&% (v "c" <>% chr ')') &&% (v "k" <% i 63))
+                    [
+                      st8 (v "name" +% v "k") (v "c");
+                      incr_ "k";
+                      incr_ "p";
+                      set "c" (ld8 (v "src" +% v "p"));
+                    ];
+                  st8 (v "name" +% v "k") (i 0);
+                  when_ (v "c" ==% chr ')') [ incr_ "p" ];
+                  decl "slot" (call "mkv_find" [ v "name" ]);
+                  when_
+                    ((ld32 (g "mkv_name" +% (v "slot" *% i 4)) <>% i 0)
+                    &&% (v "depth" <% i max_expand_depth))
+                    [
+                      decl "sub" (alloc (i 256));
+                      expr
+                        (call "expand_into"
+                           [
+                             g "mkv_arena"
+                             +% ld32 (g "mkv_value" +% (v "slot" *% i 4));
+                             v "sub"; i 256; v "depth" +% i 1;
+                           ]);
+                      decl "q" (i 0);
+                      decl "sc" (ld8 (v "sub"));
+                      while_ ((v "sc" <>% i 0) &&% (v "n" <% (v "max" -% i 1)))
+                        [
+                          st8 (v "dst" +% v "n") (v "sc");
+                          incr_ "n";
+                          incr_ "q";
+                          set "sc" (ld8 (v "sub" +% v "q"));
+                        ];
+                    ];
+                  set "c" (ld8 (v "src" +% v "p"));
+                ]
+                [
+                  if_ ((v "c2" ==% chr '@') ||% (v "c2" ==% chr '<'))
+                    [
+                      decl "auto"
+                        (Ir.Ast.Cond
+                           (v "c2" ==% chr '@', ld32 (g "mk_at"), ld32 (g "mk_lt")));
+                      when_ (v "auto" <>% i 0)
+                        [
+                          decl "q" (i 0);
+                          decl "ac" (ld8 (v "auto"));
+                          while_
+                            ((v "ac" <>% i 0) &&% (v "n" <% (v "max" -% i 1)))
+                            [
+                              st8 (v "dst" +% v "n") (v "ac");
+                              incr_ "n";
+                              incr_ "q";
+                              set "ac" (ld8 (v "auto" +% v "q"));
+                            ];
+                        ];
+                      set "p" (v "p" +% i 2);
+                      set "c" (ld8 (v "src" +% v "p"));
+                    ]
+                    [
+                      (* literal $ *)
+                      st8 (v "dst" +% v "n") (v "c");
+                      incr_ "n";
+                      incr_ "p";
+                      set "c" (ld8 (v "src" +% v "p"));
+                    ];
+                ];
+            ]
+            [
+              st8 (v "dst" +% v "n") (v "c");
+              incr_ "n";
+              incr_ "p";
+              set "c" (ld8 (v "src" +% v "p"));
+            ];
+        ];
+      st8 (v "dst" +% v "n") (i 0);
+      ret (v "n");
+    ]
+
+(* ---------- target table ---------- *)
+
+let find_target =
+  func "find_target" [ "name" ]
+    [
+      decl "t" (i 0);
+      decl "n" (count 0);
+      while_ (v "t" <% v "n")
+        [
+          when_
+            (call "strcmp" [ v "name"; g "mk_names" +% field "mk_name_off" (v "t") ]
+            ==% i 0)
+            [ ret (v "t") ];
+          incr_ "t";
+        ];
+      ret (i 0 -% i 1);
+    ]
+
+let names_add =
+  func "names_add" [ "s" ]
+    [
+      decl "off" (ld32 (g "mk_names_next"));
+      expr (call "strcpy" [ g "mk_names" +% v "off"; v "s" ]);
+      st32 (g "mk_names_next") (v "off" +% call "strlen" [ v "s" ] +% i 1);
+      ret (v "off");
+    ]
+
+(* Recursive dependency evaluation; returns the target's up-to-date
+   modification time. *)
+let build =
+  func "build" [ "t" ]
+    [
+      when_ (field "mk_built" (v "t") <>% i 0) [ ret (field "mk_time" (v "t")) ];
+      set_field "mk_built" (v "t") (i 1);
+      decl "own"
+        (call "hash_string"
+           [ g "mk_names" +% field "mk_name_off" (v "t"); i 997 ]
+        +% i 200);
+      decl "newest" (i 0);
+      decl "first_dep" (i 0);
+      decl "d" (i 0);
+      decl "nd" (field "mk_ndeps" (v "t"));
+      while_ (v "d" <% v "nd")
+        [
+          decl "dep_name"
+            (g "mk_names"
+            +% ld32 (g "mk_deps" +% ((field "mk_dep0" (v "t") +% v "d") *% i 4)));
+          when_ (v "d" ==% i 0) [ set "first_dep" (v "dep_name") ];
+          decl "idx" (call "find_target" [ v "dep_name" ]);
+          decl "dt" (i 0);
+          if_ (v "idx" >=% i 0)
+            [ set "dt" (call "build" [ v "idx" ]) ]
+            [ set "dt" (call "hash_string" [ v "dep_name"; i 1200 ]) ];
+          when_ (v "dt" >% v "newest") [ set "newest" (v "dt") ];
+          incr_ "d";
+        ];
+      if_ (v "newest" >% v "own")
+        [
+          (* Out of date: expand and run the commands. *)
+          st32 (g "mk_at") (g "mk_names" +% field "mk_name_off" (v "t"));
+          st32 (g "mk_lt") (v "first_dep");
+          decl "expanded" (alloc (i 512));
+          decl "k" (i 0);
+          decl "nc" (field "mk_ncmds" (v "t"));
+          while_ (v "k" <% v "nc")
+            [
+              expr
+                (call "expand_into"
+                   [
+                     g "mk_cmds"
+                     +% ld32
+                          (g "mk_cmd_idx"
+                          +% ((field "mk_cmd0" (v "t") +% v "k") *% i 4));
+                     v "expanded"; i 512; i 0;
+                   ]);
+              expr (call "print_string" [ i 0; v "expanded" ]);
+              putc (i 0) (chr '\n');
+              incr_ "k";
+            ];
+          set_field "mk_time" (v "t") (v "newest" +% i 1);
+          set_count 3 (count 3 +% i 1);
+        ]
+        [ set_field "mk_time" (v "t") (v "own") ];
+      ret (field "mk_time" (v "t"));
+    ]
+
+let scan_word =
+  func "scan_word" [ "line"; "pos_cell"; "out"; "out_max" ]
+    [
+      decl "p" (ld32 (v "pos_cell"));
+      while_
+        ((ld8 (v "line" +% v "p") <>% i 0)
+        &&% call "is_space" [ ld8 (v "line" +% v "p") ])
+        [ incr_ "p" ];
+      decl "n" (i 0);
+      decl "c" (ld8 (v "line" +% v "p"));
+      while_
+        ((v "c" <>% i 0)
+        &&% not_ (call "is_space" [ v "c" ])
+        &&% (v "n" <% (v "out_max" -% i 1)))
+        [
+          st8 (v "out" +% v "n") (v "c");
+          incr_ "n";
+          incr_ "p";
+          set "c" (ld8 (v "line" +% v "p"));
+        ];
+      st8 (v "out" +% v "n") (i 0);
+      st32 (v "pos_cell") (v "p");
+      ret (v "n");
+    ]
+
+(* "NAME = value" detection: an identifier followed by optional blanks and
+   '='.  Returns the position of '=' or -1. *)
+let var_def_pos =
+  func "var_def_pos" [ "line" ]
+    [
+      decl "p" (i 0);
+      decl "c" (ld8 (v "line"));
+      when_ (not_ (call "is_alpha" [ v "c" ])) [ ret (i 0 -% i 1) ];
+      while_ (call "is_alnum" [ v "c" ] ||% (v "c" ==% chr '_'))
+        [ incr_ "p"; set "c" (ld8 (v "line" +% v "p")) ];
+      while_ ((v "c" ==% chr ' ') ||% (v "c" ==% chr '\t'))
+        [ incr_ "p"; set "c" (ld8 (v "line" +% v "p")) ];
+      when_ (v "c" ==% chr '=') [ ret (v "p") ];
+      ret (i 0 -% i 1);
+    ]
+
+let main =
+  func "main" []
+    [
+      decl "line" (alloc (i 512));
+      decl "expanded" (alloc (i 512));
+      decl "word" (alloc (i 128));
+      decl "len" (call "read_line" [ i 0; v "line"; i 512 ]);
+      decl "cur" (i 0 -% i 1);
+      while_ (v "len" >=% i 0)
+        [
+          if_
+            ((ld8 (v "line") ==% chr '\t') &&% (v "cur" >=% i 0))
+            [
+              (* Command line for the current target: stored unexpanded,
+                 expanded at execution time (when $@/$< are known). *)
+              decl "coff" (ld32 (g "mk_cmds_next"));
+              expr (call "strcpy" [ g "mk_cmds" +% v "coff"; v "line" +% i 1 ]);
+              st32 (g "mk_cmds_next")
+                (v "coff" +% call "strlen" [ v "line" +% i 1 ] +% i 1);
+              st32 (g "mk_cmd_idx" +% (count 2 *% i 4)) (v "coff");
+              when_ (field "mk_ncmds" (v "cur") ==% i 0)
+                [ set_field "mk_cmd0" (v "cur") (count 2) ];
+              set_field "mk_ncmds" (v "cur") (field "mk_ncmds" (v "cur") +% i 1);
+              set_count 2 (count 2 +% i 1);
+            ]
+            [
+              decl "eqp" (call "var_def_pos" [ v "line" ]);
+              if_ (v "eqp" >=% i 0)
+                [
+                  (* NAME = value *)
+                  decl "name" (alloc (i 64));
+                  decl "k" (i 0);
+                  while_
+                    ((v "k" <% v "eqp")
+                    &&% not_ (call "is_space" [ ld8 (v "line" +% v "k") ])
+                    &&% (v "k" <% i 63))
+                    [
+                      st8 (v "name" +% v "k") (ld8 (v "line" +% v "k"));
+                      incr_ "k";
+                    ];
+                  st8 (v "name" +% v "k") (i 0);
+                  decl "vp" (v "eqp" +% i 1);
+                  while_ (call "is_space" [ ld8 (v "line" +% v "vp") ])
+                    [ incr_ "vp" ];
+                  expr (call "mkv_define" [ v "name"; v "line" +% v "vp" ]);
+                ]
+                [
+                  decl "colon" (call "strchr" [ v "line"; chr ':' ]);
+                  when_ ((v "colon" <>% i 0) &&% (v "len" >% i 0))
+                    [
+                      (* New rule: expand variables in the whole line
+                         first, then parse target and dependencies. *)
+                      st8 (v "colon") (i 0);
+                      set "cur" (count 0);
+                      set_count 0 (count 0 +% i 1);
+                      set_field "mk_name_off" (v "cur")
+                        (call "names_add" [ v "line" ]);
+                      set_field "mk_ndeps" (v "cur") (i 0);
+                      set_field "mk_ncmds" (v "cur") (i 0);
+                      set_field "mk_dep0" (v "cur") (count 1);
+                      expr
+                        (call "expand_into"
+                           [ v "colon" +% i 1; v "expanded"; i 512; i 0 ]);
+                      decl "pos_cell" (alloc (i 4));
+                      st32 (v "pos_cell") (i 0);
+                      decl "wl"
+                        (call "scan_word"
+                           [ v "expanded"; v "pos_cell"; v "word"; i 128 ]);
+                      while_ (v "wl" >% i 0)
+                        [
+                          st32 (g "mk_deps" +% (count 1 *% i 4))
+                            (call "names_add" [ v "word" ]);
+                          set_count 1 (count 1 +% i 1);
+                          set_field "mk_ndeps" (v "cur")
+                            (field "mk_ndeps" (v "cur") +% i 1);
+                          set "wl"
+                            (call "scan_word"
+                               [ v "expanded"; v "pos_cell"; v "word"; i 128 ]);
+                        ];
+                    ];
+                ];
+            ];
+          set "len" (call "read_line" [ i 0; v "line"; i 512 ]);
+        ];
+      (* Evaluate every target. *)
+      decl "t" (i 0);
+      while_ (v "t" <% count 0)
+        [ expr (call "build" [ v "t" ]); incr_ "t" ];
+      expr (call "print_num" [ i 0; count 3 ]);
+      putc (i 0) (chr '\n');
+      ret (count 3);
+    ]
+
+let benchmark =
+  Bench.make ~name:"make"
+    ~description:"generated makefiles with variables (60-500 targets)"
+    ~ast:(fun () ->
+      Libc.link ~globals ~entry:"main"
+        [
+          mkv_add_arena; mkv_find; mkv_define; expand_into; find_target;
+          names_add; build; scan_word; var_def_pos; main;
+        ])
+    ~profile_inputs:(fun () ->
+      List.map
+        (fun (seed, targets) ->
+          Vm.Io.input
+            ~label:(Printf.sprintf "makefile %d targets" targets)
+            [ Inputs.makefile ~seed ~targets ])
+        [ (41, 60); (42, 120); (43, 180); (44, 240); (45, 300); (46, 360) ])
+    ~trace_input:(fun () ->
+      Vm.Io.input ~label:"makefile 500 targets"
+        [ Inputs.makefile ~seed:700 ~targets:500 ])

@@ -1,0 +1,246 @@
+(* tar: build a USTAR-style archive, like UNIX tar cf.  Stream 0 carries a
+   manifest of "name size" lines; stream 1 carries the concatenated member
+   contents.  For each member the program emits a 512-byte header (name,
+   octal size and mtime, checksum) followed by the content padded to a
+   512-byte boundary, and finishes with two zero blocks. *)
+
+open Ir.Ast.Dsl
+
+let block = 512
+
+(* Write [value] at [buf+off] as a zero-padded octal field of [width]
+   digits (no terminator). *)
+let to_octal =
+  func "to_octal" [ "buf"; "off"; "value"; "width" ]
+    [
+      decl "k" (v "width" -% i 1);
+      while_ (v "k" >=% i 0)
+        [
+          st8 (v "buf" +% v "off" +% v "k") ((v "value" %% i 8) +% chr '0');
+          set "value" (v "value" /% i 8);
+          decr_ "k";
+        ];
+      ret0;
+    ]
+
+(* Emit [n] bytes of [buf] on stream 0. *)
+let emit_bytes =
+  func "emit_bytes" [ "buf"; "n" ]
+    [
+      decl "k" (i 0);
+      while_ (v "k" <% v "n")
+        [ putc (i 0) (ld8 (v "buf" +% v "k")); incr_ "k" ];
+      ret0;
+    ]
+
+(* Build and emit one member header. *)
+let emit_header =
+  func "emit_header" [ "hdr"; "name"; "size" ]
+    [
+      expr (call "memset" [ v "hdr"; i 0; i block ]);
+      expr (call "strcpy" [ v "hdr"; v "name" ]);
+      expr (call "strcpy" [ v "hdr" +% i 100; g "tar_mode" ]);
+      expr (call "to_octal" [ v "hdr"; i 124; v "size"; i 11 ]);
+      expr
+        (call "to_octal"
+           [ v "hdr"; i 136; call "hash_string" [ v "name"; i 100000 ]; i 11 ]);
+      st8 (v "hdr" +% i 156) (chr '0'); (* typeflag: regular file *)
+      expr (call "strcpy" [ v "hdr" +% i 257; g "tar_magic" ]);
+      (* Checksum: header bytes summed with the checksum field read as
+         spaces. *)
+      expr (call "memset" [ v "hdr" +% i 148; chr ' '; i 8 ]);
+      decl "sum" (i 0);
+      decl "k" (i 0);
+      while_ (v "k" <% i block)
+        [ set "sum" (v "sum" +% ld8 (v "hdr" +% v "k")); incr_ "k" ];
+      expr (call "to_octal" [ v "hdr"; i 148; v "sum"; i 6 ]);
+      st8 (v "hdr" +% i 154) (i 0);
+      st8 (v "hdr" +% i 155) (chr ' ');
+      expr (call "emit_bytes" [ v "hdr"; i block ]);
+      ret0;
+    ]
+
+let globals =
+  [
+    ("tar_mode", Ir.Ast.Gstring "0000644");
+    ("tar_magic", Ir.Ast.Gstring "ustar");
+    ("tar_ok", Ir.Ast.Gstring " OK");
+    ("tar_bad", Ir.Ast.Gstring " BAD");
+  ]
+
+(* Parse a zero-padded octal field. *)
+let parse_octal =
+  func "parse_octal" [ "buf"; "off"; "width" ]
+    [
+      decl "acc" (i 0);
+      decl "k" (i 0);
+      while_ (v "k" <% v "width")
+        [
+          decl "c" (ld8 (v "buf" +% v "off" +% v "k"));
+          when_ ((v "c" <% chr '0') ||% (v "c" >% chr '7')) [ ret (v "acc") ];
+          set "acc" ((v "acc" *% i 8) +% (v "c" -% chr '0'));
+          incr_ "k";
+        ];
+      ret (v "acc");
+    ]
+
+(* Read one 512-byte block from stream 1 into [buf]; 1 on success. *)
+let read_block =
+  func "read_block" [ "buf" ]
+    [
+      decl "k" (i 0);
+      while_ (v "k" <% i block)
+        [
+          decl "c" (getc (i 1));
+          when_ (v "c" <% i 0) [ ret (i 0) ];
+          st8 (v "buf" +% v "k") (v "c");
+          incr_ "k";
+        ];
+      ret (i 1);
+    ]
+
+(* Header checksum: bytes summed with the checksum field as spaces. *)
+let header_sum =
+  func "header_sum" [ "hdr" ]
+    [
+      decl "sum" (i 0);
+      decl "k" (i 0);
+      while_ (v "k" <% i block)
+        [
+          if_ ((v "k" >=% i 148) &&% (v "k" <% i 156))
+            [ set "sum" (v "sum" +% chr ' ') ]
+            [ set "sum" (v "sum" +% ld8 (v "hdr" +% v "k")) ];
+          incr_ "k";
+        ];
+      ret (v "sum");
+    ]
+
+(* List (mode 1) or extract (mode 2) an archive arriving on stream 1. *)
+let read_archive =
+  func "read_archive" [ "extract" ]
+    [
+      decl "hdr" (alloc (i block));
+      decl "members" (i 0);
+      while_ (call "read_block" [ v "hdr" ])
+        [
+          (* end-of-archive: a zero block (empty name) *)
+          when_ (ld8 (v "hdr") ==% i 0) [ break_ ];
+          decl "size" (call "parse_octal" [ v "hdr"; i 124; i 11 ]);
+          if_ (v "extract")
+            [
+              decl "k" (i 0);
+              while_ (v "k" <% v "size")
+                [ putc (i 0) (getc (i 1)); incr_ "k" ];
+            ]
+            [
+              expr (call "print_string" [ i 0; v "hdr" ]);
+              putc (i 0) (chr ' ');
+              expr (call "print_num" [ i 0; v "size" ]);
+              decl "stored" (call "parse_octal" [ v "hdr"; i 148; i 6 ]);
+              if_ (call "header_sum" [ v "hdr" ] ==% v "stored")
+                [ expr (call "print_string" [ i 0; g "tar_ok" ]) ]
+                [ expr (call "print_string" [ i 0; g "tar_bad" ]) ];
+              putc (i 0) (chr '\n');
+              decl "k" (i 0);
+              while_ (v "k" <% v "size")
+                [ expr (getc (i 1)); incr_ "k" ];
+            ];
+          (* skip padding to the block boundary *)
+          decl "pad" ((i block -% (v "size" %% i block)) %% i block);
+          while_ (v "pad" >% i 0) [ expr (getc (i 1)); decr_ "pad" ];
+          incr_ "members";
+        ];
+      ret (v "members");
+    ]
+
+let create_archive =
+  func "create_archive" []
+    [
+      decl "line" (alloc (i 256));
+      decl "name" (alloc (i 128));
+      decl "hdr" (alloc (i block));
+      decl "pos_cell" (alloc (i 4));
+      decl "members" (i 0);
+      decl "bytes" (i 0);
+      decl "len" (call "read_line" [ i 0; v "line"; i 256 ]);
+      while_ (v "len" >% i 0)
+        [
+          (* Parse "name size". *)
+          st32 (v "pos_cell") (i 0);
+          decl "p" (i 0);
+          decl "n" (i 0);
+          while_
+            ((ld8 (v "line" +% v "p") <>% i 0)
+            &&% not_ (call "is_space" [ ld8 (v "line" +% v "p") ]))
+            [
+              st8 (v "name" +% v "n") (ld8 (v "line" +% v "p"));
+              incr_ "n";
+              incr_ "p";
+            ];
+          st8 (v "name" +% v "n") (i 0);
+          decl "size" (call "atoi" [ v "line" +% v "p" ]);
+          expr (call "emit_header" [ v "hdr"; v "name"; v "size" ]);
+          (* Copy the member contents from stream 1, padded to a block. *)
+          decl "k" (i 0);
+          while_ (v "k" <% v "size")
+            [
+              decl "c" (getc (i 1));
+              putc (i 0) (Ir.Ast.Cond (v "c" >=% i 0, v "c", i 0));
+              incr_ "k";
+            ];
+          decl "pad" ((i block -% (v "size" %% i block)) %% i block);
+          while_ (v "pad" >% i 0) [ putc (i 0) (i 0); decr_ "pad" ];
+          incr_ "members";
+          set "bytes" (v "bytes" +% v "size");
+          set "len" (call "read_line" [ i 0; v "line"; i 256 ]);
+        ];
+      (* End-of-archive: two zero blocks. *)
+      expr (call "memset" [ v "hdr"; i 0; i block ]);
+      expr (call "emit_bytes" [ v "hdr"; i block ]);
+      expr (call "emit_bytes" [ v "hdr"; i block ]);
+      expr (call "print_num" [ i 0; v "members" ]);
+      putc (i 0) (chr '\n');
+      ret (v "members");
+    ]
+
+(* Mode: 0 create (manifest on stream 0, contents on stream 1), 1 list
+   (archive on stream 1), 2 extract (archive on stream 1). *)
+let main =
+  func "main" []
+    [
+      decl "mode" (arg 0);
+      when_ (v "mode" ==% i 1) [ ret (call "read_archive" [ i 0 ]) ];
+      when_ (v "mode" ==% i 2) [ ret (call "read_archive" [ i 1 ]) ];
+      ret (call "create_archive" []);
+    ]
+
+let benchmark =
+  Bench.make ~name:"tar"
+    ~description:"archive create/list/extract over generated member sets"
+    ~ast:(fun () ->
+      Libc.link ~globals ~entry:"main"
+        [
+          to_octal; emit_bytes; emit_header; parse_octal; read_block;
+          header_sum; read_archive; create_archive; main;
+        ])
+    ~profile_inputs:(fun () ->
+      let create (seed, members) =
+        let manifest, content = Inputs.tar_manifest ~seed ~members in
+        Vm.Io.input
+          ~label:(Printf.sprintf "create %d members" members)
+          [ manifest; content ]
+      in
+      let reread mode (seed, members) =
+        let archive, _ = Inputs.tar_archive ~seed ~members in
+        Vm.Io.input
+          ~label:
+            (Printf.sprintf "%s %d members"
+               (if mode = 1 then "list" else "extract")
+               members)
+          ~args:[ mode ] [ ""; archive ]
+      in
+      List.map create [ (51, 8); (52, 16); (53, 24); (54, 32) ]
+      @ [ reread 1 (55, 40); reread 2 (56, 30); create (57, 12) ])
+    ~trace_input:(fun () ->
+      let manifest, content = Inputs.tar_manifest ~seed:800 ~members:90 in
+      Vm.Io.input ~label:"archive of 90 members" [ manifest; content ])

@@ -1,0 +1,33 @@
+(* tee: copy the input stream to two output streams, like UNIX tee.
+   Pure system-call loop with no library calls — the paper's special case
+   where inline expansion finds nothing to do (Table 3: 0% / 0%). *)
+
+open Ir.Ast.Dsl
+
+let main =
+  func "main" []
+    [
+      decl "bytes" (i 0);
+      decl "c" (getc (i 0));
+      while_ (v "c" >=% i 0)
+        [
+          putc (i 1) (v "c");
+          putc (i 2) (v "c");
+          incr_ "bytes";
+          set "c" (getc (i 0));
+        ];
+      ret (v "bytes");
+    ]
+
+let benchmark =
+  Bench.make ~name:"tee"
+    ~description:"prose-like text files (5-60 KB)"
+    ~ast:(fun () -> Libc.link ~entry:"main" [ main ])
+    ~profile_inputs:(fun () ->
+      List.map
+        (fun seed ->
+          Vm.Io.input ~label:"text"
+            [ Inputs.text ~seed:(seed * 3) ~bytes:(5_000 + (seed * 1500)) ])
+        [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ])
+    ~trace_input:(fun () ->
+      Vm.Io.input ~label:"text 60KB" [ Inputs.text ~seed:123 ~bytes:60_000 ])

@@ -1,0 +1,79 @@
+(* wc: count lines, words and characters of the input, like UNIX wc.
+   The inner loop calls the library's is_space on every byte — a prime
+   inline-expansion candidate, as in the paper.
+
+   Argument 0 is an output-selection bitmask (1 lines, 2 words, 4 chars,
+   8 longest-line length; 0 means the classic "lines words chars"). *)
+
+open Ir.Ast.Dsl
+
+let main =
+  func "main" []
+    [
+      decl "opts" (arg 0);
+      when_ (v "opts" ==% i 0) [ set "opts" (i 7) ];
+      decl "lines" (i 0);
+      decl "words" (i 0);
+      decl "chars" (i 0);
+      decl "in_word" (i 0);
+      decl "linelen" (i 0);
+      decl "maxline" (i 0);
+      decl "c" (getc (i 0));
+      while_ (v "c" >=% i 0)
+        [
+          incr_ "chars";
+          if_ (v "c" ==% chr '\n')
+            [
+              incr_ "lines";
+              when_ (v "linelen" >% v "maxline")
+                [ set "maxline" (v "linelen") ];
+              set "linelen" (i 0);
+            ]
+            [ incr_ "linelen" ];
+          if_
+            (call "is_space" [ v "c" ])
+            [ set "in_word" (i 0) ]
+            [
+              when_ (not_ (v "in_word"))
+                [ set "in_word" (i 1); incr_ "words" ];
+            ];
+          set "c" (getc (i 0));
+        ];
+      when_ (v "linelen" >% v "maxline") [ set "maxline" (v "linelen") ];
+      decl "printed" (i 0);
+      decl "k" (i 0);
+      while_ (v "k" <% i 4)
+        [
+          decl "bit" (i 1 <<% v "k");
+          when_ ((v "opts" &% v "bit") <>% i 0)
+            [
+              when_ (v "printed" <>% i 0) [ putc (i 0) (chr ' ') ];
+              switch (v "k")
+                [
+                  ([ 0 ], [ expr (call "print_num" [ i 0; v "lines" ]); break_ ]);
+                  ([ 1 ], [ expr (call "print_num" [ i 0; v "words" ]); break_ ]);
+                  ([ 2 ], [ expr (call "print_num" [ i 0; v "chars" ]); break_ ]);
+                  ([ 3 ], [ expr (call "print_num" [ i 0; v "maxline" ]); break_ ]);
+                ]
+                [];
+              set "printed" (i 1);
+            ];
+          incr_ "k";
+        ];
+      putc (i 0) (chr '\n');
+      ret (v "lines");
+    ]
+
+let benchmark =
+  Bench.make ~name:"wc"
+    ~description:"prose-like text files (20-120 KB)"
+    ~ast:(fun () -> Libc.link ~entry:"main" [ main ])
+    ~profile_inputs:(fun () ->
+      List.map
+        (fun seed ->
+          Vm.Io.input
+            ~label:(Printf.sprintf "text seed %d" seed)
+            [ Inputs.text ~seed ~bytes:(20_000 + (seed * 4000)) ])
+        [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+    ~trace_input:(fun () ->
+      Vm.Io.input ~label:"text 120KB" [ Inputs.text ~seed:99 ~bytes:120_000 ])

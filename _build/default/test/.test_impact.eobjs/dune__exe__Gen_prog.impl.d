@@ -1,0 +1,1 @@
+test/gen_prog.ml: Ir List Printf Vm Workloads

@@ -1,0 +1,1 @@
+test/helpers.ml: Array Ir Placement Vm Workloads

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Icache List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_differential.ml: Array Gen_prog Icache Ir List Placement QCheck QCheck_alcotest Sim Vm

@@ -1,0 +1,1 @@
+test/test_insn.ml: Alcotest Insn Ir List Printf

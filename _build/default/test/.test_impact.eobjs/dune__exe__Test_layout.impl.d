@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Experiments Helpers Ir List Placement QCheck QCheck_alcotest Vm Workloads

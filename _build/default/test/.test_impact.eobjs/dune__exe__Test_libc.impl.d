@@ -1,0 +1,1 @@
+test/test_libc.ml: Alcotest Char Ir Vm Workloads

@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Array Char Helpers Ir Vm

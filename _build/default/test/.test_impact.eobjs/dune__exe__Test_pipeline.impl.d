@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Icache Ir List Placement Printf Sim Vm Workloads

@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Experiments Icache Lazy List Sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Helpers Icache Ir Placement Sim Vm Workloads

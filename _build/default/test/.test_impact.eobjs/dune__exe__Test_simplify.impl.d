@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Array Helpers Ir List Placement Vm Workloads

@@ -1,0 +1,1 @@
+test/test_trace_select.ml: Alcotest Array Helpers List Placement QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Buffer Bytes Char Hashtbl Int32 Ir List Printf String Vm Workloads

@@ -1,0 +1,100 @@
+(* Shared fixtures for the test suite: small DSL programs and convenience
+   runners. *)
+
+open Ir.Ast.Dsl
+
+let run ?(streams = []) ?(args = []) prog =
+  Vm.Interp.run (Ir.Lower.program prog) (Vm.Io.input ~args streams)
+
+let ret_of ?streams ?args prog = (run ?streams ?args prog).Vm.Interp.return_value
+
+let out_of ?streams ?args prog =
+  Vm.Io.output (run ?streams ?args prog).Vm.Interp.io 0
+
+(* A program with a single main. *)
+let main_prog ?(globals = []) ?(funcs = []) body =
+  { Ir.Ast.globals; funcs = funcs @ [ func "main" [] body ]; entry = "main" }
+
+(* gcd via repeated remainder: exercises calls and loops. *)
+let gcd_func =
+  func "gcd" [ "a"; "b" ]
+    [
+      while_ (v "b" <>% i 0)
+        [ decl "t" (v "b"); set "b" (v "a" %% v "b"); set "a" (v "t") ];
+      ret (v "a");
+    ]
+
+(* A classic diamond-with-loop function used by placement tests:
+
+       0 (entry)
+       |
+       1 <------+
+      / \       |
+     2   3      |
+      \ /       |
+       4 -------+
+       |
+       5 (exit)
+
+   Block 1 is the loop head; 2 is the hot arm, 3 the cold arm. *)
+let diamond_loop_func : Ir.Prog.func =
+  let b insns term = Ir.Cfg.mk_block (Array.of_list insns) term in
+  {
+    Ir.Prog.name = "diamond";
+    nparams = 1;
+    nregs = 4;
+    blocks =
+      [|
+        b [ Ir.Insn.Mov (1, Imm 0) ] (Jump 1);
+        b [ Ir.Insn.Bin (Lt, 2, Reg 1, Reg 0) ] (Br (Reg 2, 2, 5));
+        b
+          [ Ir.Insn.Bin (Add, 3, Reg 3, Reg 1) ]
+          (Jump 4);
+        b [ Ir.Insn.Bin (Sub, 3, Reg 3, Reg 1) ] (Jump 4);
+        b [ Ir.Insn.Bin (Add, 1, Reg 1, Imm 1) ] (Jump 1);
+        b [] (Ret (Some (Reg 3)));
+      |];
+  }
+
+(* Hand weights for [diamond_loop_func] where arm 2 dominates: the loop
+   ran 100 times, 90 through block 2 and 10 through block 3. *)
+let diamond_weights ?(hot = 90) ?(cold = 10) () =
+  let n = hot + cold in
+  Placement.Weight.cfg_of_lists ~func_weight:1
+    ~blocks:[ (0, 1); (1, n + 1); (2, hot); (3, cold); (4, n); (5, 1) ]
+    ~arcs:
+      [
+        (0, 1, 1);
+        (1, 2, hot);
+        (1, 3, cold);
+        (1, 5, 1);
+        (2, 4, hot);
+        (3, 4, cold);
+        (4, 1, n);
+      ]
+
+(* Tiny two-function program for call-related tests. *)
+let caller_prog =
+  {
+    Ir.Ast.globals = [];
+    funcs =
+      [
+        func "twice" [ "x" ] [ ret (v "x" *% i 2) ];
+        func "main" []
+          [
+            decl "acc" (i 0);
+            for_
+              [ decl "k" (i 0) ]
+              (v "k" <% i 10)
+              [ incr_ "k" ]
+              [ set "acc" (v "acc" +% call "twice" [ v "k" ]) ];
+            ret (v "acc");
+          ];
+      ];
+    entry = "main";
+  }
+
+(* Deterministic pseudo-random fetch-address generator for cache tests. *)
+let random_addresses ~seed ~count ~max_addr =
+  let rng = Workloads.Rng.create seed in
+  Array.init count (fun _ -> Workloads.Rng.int rng max_addr / 4 * 4)

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "impact"
+    [
+      ("insn", Test_insn.suite);
+      ("lower", Test_lower.suite);
+      ("libc", Test_libc.suite);
+      ("simplify", Test_simplify.suite);
+      ("interp", Test_interp.suite);
+      ("profile", Test_profile.suite);
+      ("trace_select", Test_trace_select.suite);
+      ("layout", Test_layout.suite);
+      ("inline", Test_inline.suite);
+      ("cache", Test_cache.suite);
+      ("workloads", Test_workloads.suite);
+      ("sim", Test_sim.suite);
+      ("paging", Test_paging.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("experiments", Test_experiments.suite);
+      ("differential", Test_differential.suite);
+      ("shapes", Test_shapes.suite);
+    ]

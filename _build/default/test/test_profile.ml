@@ -1,0 +1,107 @@
+(* Profiling tests: block/arc/call-site weights and flow-conservation
+   invariants of the weighted control graph. *)
+
+open Helpers
+
+let accumulation () =
+  let p = Ir.Lower.program caller_prog in
+  let prof = Vm.Profile.profile p [ Vm.Io.input []; Vm.Io.input [] ] in
+  Alcotest.(check int) "runs" 2 prof.Vm.Profile.runs;
+  Alcotest.(check int) "calls accumulate" 20 prof.Vm.Profile.dyn_calls;
+  let main_fid = p.Ir.Prog.entry in
+  Alcotest.(check int) "entry executed twice" 2
+    (Vm.Profile.block_weight prof main_fid 0);
+  let twice_fid = Ir.Prog.func_index p "twice" in
+  Alcotest.(check int) "callee entered 20 times" 20
+    (Vm.Profile.func_weight prof twice_fid);
+  Alcotest.(check int) "site weight" 20
+    (let sites = Vm.Profile.call_sites_of prof main_fid in
+     List.fold_left (fun acc (_, _, c) -> acc + c) 0 sites)
+
+(* Flow conservation: for every executed block with outgoing arcs, the sum
+   of outgoing arc weights equals the number of times control left the
+   block, i.e. its execution count (returns/exits excepted). *)
+let flow_conservation () =
+  let b = Workloads.Registry.find "wc" in
+  let p = Workloads.Bench.program b in
+  let prof =
+    Vm.Profile.profile p [ Vm.Io.input [ "hello world\nthe end\n" ] ]
+  in
+  Array.iteri
+    (fun fid (f : Ir.Prog.func) ->
+      Array.iteri
+        (fun l block ->
+          let weight = Vm.Profile.block_weight prof fid l in
+          let out =
+            List.fold_left
+              (fun acc (_, c) -> acc + c)
+              0
+              (Vm.Profile.out_arcs prof fid l)
+          in
+          match block.Ir.Cfg.term with
+          | Ir.Cfg.Ret _ -> Alcotest.(check int) "ret has no out arcs" 0 out
+          | Ir.Cfg.Jump _ | Ir.Cfg.Br _ | Ir.Cfg.Switch _ | Ir.Cfg.Call _ ->
+            (* For calls the continuation arc fires on return, so out =
+               weight as long as every call returned (it did). *)
+            if out <> weight then
+              Alcotest.failf "block %d/%d: weight %d but out arcs %d" fid l
+                weight out)
+        f.Ir.Prog.blocks)
+    p.Ir.Prog.funcs
+
+(* in_arcs must be the transpose of out_arcs. *)
+let transpose () =
+  let b = Workloads.Registry.find "grep" in
+  let p = Workloads.Bench.program b in
+  let prof =
+    Vm.Profile.profile p
+      [ Vm.Io.input [ "abc def\nthe quick fox\n"; "e f\n" ] ]
+  in
+  Array.iteri
+    (fun fid (f : Ir.Prog.func) ->
+      let incoming = Vm.Profile.in_arcs prof fid in
+      let n = Array.length f.Ir.Prog.blocks in
+      let from_out = Array.make n 0 in
+      Array.iteri
+        (fun src _ ->
+          List.iter
+            (fun (dst, c) -> from_out.(dst) <- from_out.(dst) + c)
+            (Vm.Profile.out_arcs prof fid src))
+        f.Ir.Prog.blocks;
+      Array.iteri
+        (fun dst arcs ->
+          let total = List.fold_left (fun acc (_, c) -> acc + c) 0 arcs in
+          Alcotest.(check int)
+            (Printf.sprintf "in/out transpose %d/%d" fid dst)
+            from_out.(dst) total)
+        incoming)
+    p.Ir.Prog.funcs
+
+(* Block weight = sum of incoming arcs (+1 run for the entry of the entry
+   function; + entries for callee entry blocks). *)
+let entry_weights () =
+  let p = Ir.Lower.program caller_prog in
+  let prof = Vm.Profile.profile p [ Vm.Io.input [] ] in
+  Array.iteri
+    (fun fid (f : Ir.Prog.func) ->
+      let incoming = Vm.Profile.in_arcs prof fid in
+      Array.iteri
+        (fun l _ ->
+          let w = Vm.Profile.block_weight prof fid l in
+          let inc = List.fold_left (fun acc (_, c) -> acc + c) 0 incoming.(l) in
+          let expected =
+            if l = 0 then inc + Vm.Profile.func_weight prof fid else inc
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "weight matches arcs %d/%d" fid l)
+            expected w)
+        f.Ir.Prog.blocks)
+    p.Ir.Prog.funcs
+
+let suite =
+  [
+    Alcotest.test_case "accumulation across runs" `Quick accumulation;
+    Alcotest.test_case "flow conservation" `Quick flow_conservation;
+    Alcotest.test_case "in_arcs transposes out_arcs" `Quick transpose;
+    Alcotest.test_case "block weight = incoming + entries" `Quick entry_weights;
+  ]
