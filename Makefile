@@ -1,0 +1,25 @@
+# Convenience targets; CI runs `make ci` on every PR.
+
+.PHONY: all build test bench bench-smoke ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full evaluation: every table, figures, engine speedup, micro-benchmarks.
+bench:
+	dune exec bench/main.exe
+
+# Fast end-to-end exercise of the block-granular simulation engine:
+# one table, one benchmark, plus the reference-vs-fast engine comparison.
+bench-smoke:
+	dune exec bench/main.exe -- --only t6 --benchmarks wc
+
+ci: build test bench-smoke
+
+clean:
+	dune clean

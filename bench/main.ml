@@ -3,23 +3,72 @@
    Part 1 regenerates every table and figure of the paper's evaluation
    (Tables 1-9, the section 4.2.4 comparison, and the section 4.2.1 timing
    model) over the full ten-benchmark suite, printing measured values next
-   to the paper's where available.
+   to the paper's where available.  `--only t6,t8` restricts the run to a
+   subset of the experiments and `--benchmarks wc,grep` to a subset of the
+   suite, for CI and fast iteration.
 
-   Part 2 runs one Bechamel micro-benchmark per table, timing the core
-   computation that regenerates it (profiling, inlining, trace selection,
-   layout, cache simulation variants, code scaling). *)
+   Part 2 (full runs only) measures the block-granular single-pass
+   simulation engine against the word-granular reference on one
+   benchmark, then runs one Bechamel micro-benchmark per table, timing
+   the core computation that regenerates it (profiling, inlining, trace
+   selection, layout, cache simulation variants, code scaling). *)
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let only_ids : string list option ref = ref None
+let bench_names : string list option ref = ref None
+
+let split_csv s = String.split_on_char ',' s |> List.filter (( <> ) "")
+
+(* Accept both "6" and "t6" for a table id. *)
+let normalize_id id =
+  if String.length id > 1 && (id.[0] = 't' || id.[0] = 'T') then
+    String.sub id 1 (String.length id - 1)
+  else id
+
+let parse_cli () =
+  let spec =
+    [
+      ( "--only",
+        Arg.String
+          (fun s ->
+            match List.map normalize_id (split_csv s) with
+            | [] -> raise (Arg.Bad "--only needs at least one table id")
+            | ids -> only_ids := Some ids),
+        "IDS  Regenerate only these tables (comma-separated, e.g. t6,t8)" );
+      ( "--benchmarks",
+        Arg.String
+          (fun s ->
+            match split_csv s with
+            | [] -> raise (Arg.Bad "--benchmarks needs at least one name")
+            | ns -> bench_names := Some ns),
+        "NAMES  Restrict to these benchmarks (comma-separated, e.g. wc,grep)"
+      );
+    ]
+  in
+  Arg.parse spec
+    (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
+    "bench/main.exe [--only t6,t8] [--benchmarks wc,grep]"
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: table regeneration                                          *)
 (* ------------------------------------------------------------------ *)
 
-let regenerate_tables () =
-  say "=== IMPACT-I instruction placement reproduction: all experiments ===";
-  say "(building pipelines for the ten benchmarks; this takes a minute)";
+let regenerate_tables specs names =
+  say "=== IMPACT-I instruction placement reproduction: %s ==="
+    (match !only_ids with
+    | None -> "all experiments"
+    | Some ids -> "experiments " ^ String.concat "," ids);
+  say "(building pipelines for %s)"
+    (match names with
+    | None -> "the ten benchmarks"
+    | Some ns -> String.concat ", " ns);
   let t0 = Unix.gettimeofday () in
-  let ctx = Experiments.Context.create () in
+  let ctx = Experiments.Context.create ?names () in
   List.iter
     (fun spec ->
       let t = Unix.gettimeofday () in
@@ -28,11 +77,51 @@ let regenerate_tables () =
       print_string rendered;
       say "[table %s regenerated in %.1fs]" spec.Experiments.Runner.id
         (Unix.gettimeofday () -. t))
-    Experiments.Runner.all;
+    specs;
   say "";
-  say "=== all experiments regenerated in %.1fs ==="
+  say "=== %d experiment(s) regenerated in %.1fs ===" (List.length specs)
     (Unix.gettimeofday () -. t0);
   ctx
+
+(* ------------------------------------------------------------------ *)
+(* Engine comparison: the seed's per-config word-granular replay vs the
+   block-granular single-pass engine, on one benchmark.                *)
+(* ------------------------------------------------------------------ *)
+
+let engine_speedup ctx =
+  match Experiments.Context.entries ctx with
+  | [] -> ()
+  | e :: _ ->
+    let map = Experiments.Context.optimized_map e in
+    let trace = Experiments.Context.trace e in
+    let configs = Experiments.Table6.configs in
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let reference, t_ref =
+      time (fun () ->
+          List.map (fun c -> Sim.Driver.simulate c map trace) configs)
+    in
+    let fast, t_fast = time (fun () -> Sim.Driver.simulate_many configs map trace) in
+    let identical =
+      List.for_all2
+        (fun (a : Sim.Driver.result) (b : Sim.Driver.result) ->
+          a.Sim.Driver.misses = b.Sim.Driver.misses
+          && a.Sim.Driver.words_fetched = b.Sim.Driver.words_fetched
+          && a.Sim.Driver.avg_exec_insns = b.Sim.Driver.avg_exec_insns
+          && a.Sim.Driver.eat_blocking = b.Sim.Driver.eat_blocking)
+        reference fast
+    in
+    say "";
+    say
+      "=== engine speedup (%s, %d configs): word-granular simulate %.2fs \
+       vs single-pass simulate_many %.2fs = %.1fx%s ==="
+      (Experiments.Context.name e)
+      (List.length configs) t_ref t_fast
+      (t_ref /. Float.max t_fast 1e-9)
+      (if identical then ", results identical" else " — METRICS DIVERGE")
 
 (* Trend figures: the Table 6 sweep as sparklines and the 2KB design
    point as a bar chart, natural vs optimized. *)
@@ -163,6 +252,19 @@ let tests =
       (Staged.stage (fun () ->
            Fixture.simulate (Icache.Config.make ~size:2048 ~block:64 ())
              Fixture.optimized));
+    (* The same design point through the block-granular fast path. *)
+    Test.make ~name:"t6_sim_many_1cfg"
+      (Staged.stage (fun () ->
+           ignore
+             (Sim.Driver.simulate_many
+                [ Icache.Config.make ~size:2048 ~block:64 () ]
+                Fixture.optimized Fixture.trace)));
+    (* All five Table 6 sizes in one single-pass trace walk. *)
+    Test.make ~name:"t6_sim_many_5cfg"
+      (Staged.stage (fun () ->
+           ignore
+             (Sim.Driver.simulate_many Experiments.Table6.configs
+                Fixture.optimized Fixture.trace)));
     (* Table 7: small-block simulation. *)
     Test.make ~name:"t7_sim_direct_2k_16"
       (Staged.stage (fun () ->
@@ -243,8 +345,37 @@ let run_microbenchmarks () =
     tests
 
 let () =
-  let ctx = regenerate_tables () in
-  figures ctx;
-  run_microbenchmarks ();
+  parse_cli ();
+  let specs =
+    match !only_ids with
+    | None -> Experiments.Runner.all
+    | Some ids -> (
+      try List.map Experiments.Runner.find ids
+      with Experiments.Runner.Unknown_experiment id ->
+        Printf.eprintf "error: unknown table id %S (valid: %s)\n" id
+          (String.concat ","
+             (List.map
+                (fun s -> "t" ^ s.Experiments.Runner.id)
+                Experiments.Runner.all));
+        exit 2)
+  in
+  (match !bench_names with
+  | None -> ()
+  | Some ns ->
+    List.iter
+      (fun n ->
+        if not (List.mem n Workloads.Registry.names) then begin
+          Printf.eprintf "error: unknown benchmark %S (valid: %s)\n" n
+            (String.concat "," Workloads.Registry.names);
+          exit 2
+        end)
+      ns);
+  let ctx = regenerate_tables specs !bench_names in
+  (* Figures and micro-benchmarks belong to the full run; a filtered run
+     (CI smoke, iteration) stops after its tables.  The engine-speedup
+     line is always printed. *)
+  if !only_ids = None then figures ctx;
+  engine_speedup ctx;
+  if !only_ids = None then run_microbenchmarks ();
   say "";
   say "done."

@@ -177,7 +177,9 @@ let simulate_cmd =
       | "ph" -> Experiments.Context.ph_map e
       | _ -> failwith "bad --layout (optimized | natural | ph)"
     in
-    let r = Sim.Driver.simulate config map (Experiments.Context.trace e) in
+    let r =
+      Experiments.Context.simulate e config map (Experiments.Context.trace e)
+    in
     Printf.printf "%s on %s (%s layout)\n" name
       (Icache.Config.describe config)
       layout;
@@ -221,7 +223,7 @@ let estimate_cmd =
       Sim.Estimate.of_pipeline config (Experiments.Context.pipeline e)
     in
     let sim =
-      Sim.Driver.simulate config
+      Experiments.Context.simulate e config
         (Experiments.Context.optimized_map e)
         (Experiments.Context.trace e)
     in

@@ -24,7 +24,7 @@ let compute ctx =
   List.map
     (fun e ->
       let miss map trace =
-        (Sim.Driver.simulate config map trace).Sim.Driver.miss_ratio
+        (Context.simulate e config map trace).Sim.Driver.miss_ratio
       in
       let trace = Context.trace e in
       let original_trace = Context.original_trace e in

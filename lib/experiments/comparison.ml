@@ -33,7 +33,7 @@ let compute ctx =
       let trace = Context.trace e in
       let original_trace = Context.original_trace e in
       let miss config map t =
-        (Sim.Driver.simulate config map t).Sim.Driver.miss_ratio
+        (Context.simulate e config map t).Sim.Driver.miss_ratio
       in
       {
         name = Context.name e;

@@ -1,6 +1,7 @@
 (** Shared experiment context: per benchmark, the placement pipeline, the
-    recorded traces and derived address maps — computed lazily and at most
-    once, since every table draws on the same artifacts. *)
+    recorded traces, derived address maps, and memoized cache simulation
+    results — computed lazily and at most once, since every table draws
+    on the same artifacts. *)
 
 type entry = {
   bench : Workloads.Bench.t;
@@ -8,6 +9,15 @@ type entry = {
   pipeline_noinline : Placement.Pipeline.t Lazy.t;
   trace : Sim.Trace_gen.t Lazy.t;
   original_trace : Sim.Trace_gen.t Lazy.t;
+  lazy_original_map : Placement.Address_map.t Lazy.t;
+  lazy_ph_map : Placement.Address_map.t Lazy.t;
+  mutable scaled_maps : (float * Placement.Address_map.t) list;
+  mutable sim_results :
+    (Placement.Address_map.t
+    * Sim.Trace_gen.t
+    * Icache.Config.t
+    * Sim.Driver.result)
+    list;
 }
 
 type t = entry list
@@ -30,13 +40,34 @@ val natural_map : entry -> Placement.Address_map.t
 
 val original_map : entry -> Placement.Address_map.t
 (** Natural layout of the pre-inlining program: the fully unoptimized
-    baseline. *)
+    baseline.  Memoized. *)
 
 val ph_map : entry -> Placement.Address_map.t
 (** Pettis-Hansen layout of the inlined program, for the layout-algorithm
-    comparison. *)
+    comparison.  Memoized. *)
 
 val scaled_map : entry -> float -> Placement.Address_map.t
 (** Address map for the code-scaling experiment (Table 9): the inlined
     program scaled by the factor and re-laid-out with the same trace
-    selection and orderings. *)
+    selection and orderings.  Memoized per factor. *)
+
+val simulate :
+  entry ->
+  Icache.Config.t ->
+  Placement.Address_map.t ->
+  Sim.Trace_gen.t ->
+  Sim.Driver.result
+(** Trace-driven simulation, memoized per (map, trace, config): design
+    points shared between tables are simulated exactly once.  Maps and
+    traces are keyed by physical identity — use the memoized getters
+    above so repeated calls share one map. *)
+
+val simulate_many :
+  entry ->
+  Icache.Config.t list ->
+  Placement.Address_map.t ->
+  Sim.Trace_gen.t ->
+  Sim.Driver.result list
+(** Like {!simulate} for several configurations at once: every uncached
+    configuration is simulated in a single pass over the trace via
+    {!Sim.Driver.simulate_many}. *)

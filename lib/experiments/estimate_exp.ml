@@ -23,7 +23,7 @@ let compute ctx =
       let pl = Context.pipeline e in
       let est = Sim.Estimate.of_pipeline config pl in
       let sim =
-        Sim.Driver.simulate config (Context.optimized_map e) (Context.trace e)
+        Context.simulate e config (Context.optimized_map e) (Context.trace e)
       in
       {
         name = Context.name e;

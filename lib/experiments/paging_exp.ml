@@ -21,8 +21,13 @@ let config = Paging.Page_sim.default_config (* 512B pages, 16 frames *)
 
 let run_one map trace =
   let sim = Paging.Page_sim.create config in
-  Sim.Trace_gen.iter_fetches map trace ~fetch:(fun addr ->
-      Paging.Page_sim.access sim addr);
+  let addr_of = map.Placement.Address_map.block_addr
+  and words_of = map.Placement.Address_map.block_words in
+  Sim.Trace_gen.iter_blocks
+    (fun fid label ->
+      Paging.Page_sim.access_run sim ~addr:addr_of.(fid).(label)
+        ~words:words_of.(fid).(label))
+    trace;
   sim
 
 let compute ctx =

@@ -19,7 +19,7 @@ let compute ctx =
   List.map
     (fun e ->
       let trace = Context.trace e in
-      let run map = Sim.Driver.simulate config map trace in
+      let run map = Context.simulate e config map trace in
       let natural = run (Context.natural_map e) in
       let impact = run (Context.optimized_map e) in
       let ph = run (Context.ph_map e) in

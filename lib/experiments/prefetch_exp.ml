@@ -20,11 +20,11 @@ let compute ctx =
     (fun e ->
       let trace = Context.trace e in
       let map = Context.optimized_map e in
-      {
-        name = Context.name e;
-        base = Sim.Driver.simulate base_config map trace;
-        pref = Sim.Driver.simulate pref_config map trace;
-      })
+      match
+        Context.simulate_many e [ base_config; pref_config ] map trace
+      with
+      | [ base; pref ] -> { name = Context.name e; base; pref }
+      | _ -> assert false)
     (Context.entries ctx)
 
 let table ctx =

@@ -8,15 +8,31 @@ type row = { name : string; cells : cell list }
 
 let simulate_entry configs map_of e =
   let trace = Context.trace e in
+  let pairs = List.map (fun config -> (config, map_of e config)) configs in
+  (* Warm the context's result cache one map at a time, so that all
+     configurations sharing a map run in a single pass over the trace. *)
+  let distinct_maps =
+    List.fold_left
+      (fun acc (_, map) -> if List.memq map acc then acc else map :: acc)
+      [] pairs
+  in
+  List.iter
+    (fun map ->
+      let cs =
+        List.filter_map
+          (fun (c, m) -> if m == map then Some c else None)
+          pairs
+      in
+      ignore (Context.simulate_many e cs map trace))
+    distinct_maps;
   {
     name = Context.name e;
     cells =
       List.map
-        (fun config ->
-          let map = map_of e config in
-          let r = Sim.Driver.simulate config map trace in
+        (fun (config, map) ->
+          let r = Context.simulate e config map trace in
           { miss = r.Sim.Driver.miss_ratio; traffic = r.Sim.Driver.traffic_ratio })
-        configs;
+        pairs;
   }
 
 let compute ctx configs ~map_of =

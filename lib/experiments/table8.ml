@@ -20,11 +20,11 @@ let compute ctx =
     (fun e ->
       let map = Context.optimized_map e in
       let trace = Context.trace e in
-      {
-        name = Context.name e;
-        sector = Sim.Driver.simulate sector_config map trace;
-        partial = Sim.Driver.simulate partial_config map trace;
-      })
+      match
+        Context.simulate_many e [ sector_config; partial_config ] map trace
+      with
+      | [ sector; partial ] -> { name = Context.name e; sector; partial }
+      | _ -> assert false)
     (Context.entries ctx)
 
 let table ctx =

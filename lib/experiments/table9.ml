@@ -19,7 +19,7 @@ let compute ctx =
           List.map
             (fun factor ->
               let map = Context.scaled_map e factor in
-              let r = Sim.Driver.simulate config map trace in
+              let r = Context.simulate e config map trace in
               {
                 Sweep.miss = r.Sim.Driver.miss_ratio;
                 traffic = r.Sim.Driver.traffic_ratio;

@@ -23,8 +23,11 @@ let compute ctx =
     (fun e ->
       let map = Context.optimized_map e in
       let trace = Context.trace e in
-      let w = Sim.Driver.simulate whole map trace in
-      let p = Sim.Driver.simulate partial map trace in
+      let w, p =
+        match Context.simulate_many e [ whole; partial ] map trace with
+        | [ w; p ] -> (w, p)
+        | _ -> assert false
+      in
       {
         name = Context.name e;
         whole_blocking = w.Sim.Driver.eat_blocking;

@@ -21,6 +21,20 @@ val reset : t -> unit
 val access : t -> int -> outcome
 (** Simulate one instruction fetch at a byte address. *)
 
+val access_run :
+  t ->
+  addr:int ->
+  words:int ->
+  on_miss:(at:int -> word_in_block:int -> fetched_words:int -> unit) ->
+  unit
+(** Bulk fast path: simulate [words] consecutive 4-byte fetches starting
+    at [addr] (one basic block's sequential run) with one tag probe per
+    cache block touched; guaranteed-hit tail words are counted
+    arithmetically.  Exactly equivalent to calling {!access} on each word
+    in turn — counters, validity, LRU and prefetch state all match.
+    [on_miss] fires in order for every fetch that would have missed,
+    with [at] the word index within the run. *)
+
 val miss_ratio : t -> float
 val traffic_ratio : t -> float
 val avg_fetch_words : t -> float

@@ -30,6 +30,9 @@ type t
 val create : ?model:model -> policy -> t
 val on_hit : t -> unit
 
+val on_hits : t -> int -> unit
+(** Account [n] hits at once (bulk path of the block-granular engine). *)
+
 val on_miss :
   t ->
   words_per_block:int ->

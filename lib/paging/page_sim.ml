@@ -88,6 +88,54 @@ let access t addr =
   else Hashtbl.replace t.resident page t.time;
   if t.time mod t.cfg.sample_every = 0 then sample_working_set t
 
+(* Bulk access: [words] consecutive 4-byte instruction fetches starting
+   at byte address [addr], equivalent to calling [access] once per word.
+
+   Exactness: split the run at page boundaries.  Within a single-page
+   span only that page is touched, so no eviction can trigger after the
+   span's first fetch and no other page's stamp changes.  The
+   intermediate per-word timestamps are observable only at working-set
+   sample ticks, where the current page's stamp equals the tick itself
+   — so it suffices to fault/evict once at span start, replay the
+   sample ticks that fall inside the span, and write the span's final
+   time into both tables. *)
+let insn_bytes = 4
+
+let access_run t ~addr ~words =
+  let wpp = t.cfg.page_bytes / insn_bytes in
+  if wpp <= 0 then
+    for k = 0 to words - 1 do
+      access t (addr + (k * insn_bytes))
+    done
+  else begin
+    let done_ = ref 0 in
+    while !done_ < words do
+      let a = addr + (!done_ * insn_bytes) in
+      let page = a / t.cfg.page_bytes in
+      let word_in_page = a mod t.cfg.page_bytes / insn_bytes in
+      let span = min (words - !done_) (wpp - word_in_page) in
+      let t0 = t.time in
+      if not (Hashtbl.mem t.last_access page) then
+        t.distinct_pages <- t.distinct_pages + 1;
+      if not (Hashtbl.mem t.resident page) then begin
+        t.lru_faults <- t.lru_faults + 1;
+        if Hashtbl.length t.resident >= t.cfg.frames then evict_lru t
+      end;
+      Hashtbl.replace t.resident page (t0 + span);
+      let se = t.cfg.sample_every in
+      let ts = ref (((t0 / se) + 1) * se) in
+      while !ts <= t0 + span do
+        Hashtbl.replace t.last_access page !ts;
+        t.time <- !ts;
+        sample_working_set t;
+        ts := !ts + se
+      done;
+      Hashtbl.replace t.last_access page (t0 + span);
+      t.time <- t0 + span;
+      done_ := !done_ + span
+    done
+  end
+
 let accesses t = t.time
 let distinct_pages t = t.distinct_pages
 let lru_faults t = t.lru_faults

@@ -24,6 +24,12 @@ val create : config -> t
 val access : t -> int -> unit
 (** Record one instruction fetch at a byte address. *)
 
+val access_run : t -> addr:int -> words:int -> unit
+(** Record [words] consecutive 4-byte instruction fetches starting at
+    byte address [addr].  Bit-identical to calling [access] once per
+    word (one span of bookkeeping per page touched instead of one per
+    word), including Denning working-set samples that land mid-run. *)
+
 val accesses : t -> int
 val distinct_pages : t -> int
 (** Compulsory faults: the program's instruction footprint in pages. *)

@@ -1,13 +1,23 @@
 (* Trace-driven simulation driver.
 
    Replays a recorded block trace, expanded through an address map, into
-   one cache configuration, tracking the paper's metrics:
+   cache configurations, tracking the paper's metrics:
 
    - miss ratio and memory-traffic ratio (from the cache simulator);
    - avg.exec: mean consecutive instructions used from a cache miss to a
      taken branch or the next miss (Table 8);
    - avg.fetch: mean 4-byte entities transferred per miss (Table 8);
-   - effective access time under the three refill timing policies. *)
+   - effective access time under the three refill timing policies.
+
+   Two engines share these definitions:
+   - [simulate] is the word-granular reference: every instruction fetch
+     goes through [Icache.Cache.access] one at a time;
+   - [simulate_many] is the block-granular fast path: the block trace is
+     walked ONCE, each executed block becomes a single
+     [Icache.Cache.access_run] call per configuration, and all
+     configurations' caches, timers and run bookkeeping advance in the
+     same pass.  Its results are bit-identical to the reference
+     (property-tested in test/test_fast_sim.ml). *)
 
 type result = {
   config : Icache.Config.t;
@@ -102,5 +112,141 @@ let simulate ?(timing_model = Icache.Timing.default_model)
     eat_streaming_partial;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Block-granular, single-pass, multi-configuration engine             *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-configuration state carried across the single trace walk.  The run
+   bookkeeping mirrors the reference engine exactly: a run starts at a
+   miss and extends over the consecutive sequential fetches that follow
+   it; it closes at the next miss, at a non-sequential hit, or at the end
+   of the trace. *)
+type state = {
+  s_config : Icache.Config.t;
+  cache : Icache.Cache.t;
+  words_per_block : int;
+  timers : Icache.Timing.t list; (* blocking, streaming, streaming_partial *)
+  mutable prev_addr : int; (* address of the last fetched word *)
+  mutable run_open : bool;
+  mutable run_len : int;
+  mutable run_word : int;
+  mutable run_fetched : int;
+  mutable runs_sum : int;
+  mutable runs_count : int;
+  mutable next_at : int; (* words of the current block already accounted *)
+  mutable block_seq : bool; (* current block fall-through-entered? *)
+}
+
+let close_run st =
+  if st.run_open then begin
+    st.runs_sum <- st.runs_sum + st.run_len;
+    st.runs_count <- st.runs_count + 1;
+    List.iter
+      (fun t ->
+        Icache.Timing.on_miss t ~words_per_block:st.words_per_block
+          ~word_in_block:st.run_word ~run_words:(st.run_len - 1)
+          ~fetched_words:st.run_fetched)
+      st.timers;
+    st.run_open <- false
+  end
+
+(* Account [n] consecutive hit fetches.  Within a block every fetch after
+   the first is sequential by construction, so only the first of the [n]
+   can be non-sequential — and a non-sequential hit closes the run
+   without extending it, after which the remaining hits are no-ops. *)
+let apply_hits st n ~first_seq =
+  if st.run_open then
+    if first_seq then st.run_len <- st.run_len + n else close_run st
+
+let result_of st =
+  close_run st;
+  let cache = st.cache in
+  let hits = Icache.Cache.accesses cache - Icache.Cache.misses cache in
+  List.iter (fun t -> Icache.Timing.on_hits t hits) st.timers;
+  let eat = function
+    | [ b; s; p ] ->
+      ( Icache.Timing.effective_access_time b,
+        Icache.Timing.effective_access_time s,
+        Icache.Timing.effective_access_time p )
+    | _ -> assert false
+  in
+  let eat_blocking, eat_streaming, eat_streaming_partial = eat st.timers in
+  {
+    config = st.s_config;
+    accesses = Icache.Cache.accesses cache;
+    misses = Icache.Cache.misses cache;
+    words_fetched = Icache.Cache.words_fetched cache;
+    miss_ratio = Icache.Cache.miss_ratio cache;
+    traffic_ratio = Icache.Cache.traffic_ratio cache;
+    avg_fetch_words = Icache.Cache.avg_fetch_words cache;
+    avg_exec_insns =
+      (if st.runs_count = 0 then 0.
+       else float_of_int st.runs_sum /. float_of_int st.runs_count);
+    eat_blocking;
+    eat_streaming;
+    eat_streaming_partial;
+  }
+
+let simulate_many ?(timing_model = Icache.Timing.default_model) configs
+    (map : Placement.Address_map.t) (trace : Trace_gen.t) : result list =
+  let states =
+    List.map
+      (fun config ->
+        {
+          s_config = config;
+          cache = Icache.Cache.create config;
+          words_per_block = Icache.Config.words_per_block config;
+          timers =
+            List.map
+              (fun policy -> Icache.Timing.create ~model:timing_model policy)
+              [
+                Icache.Timing.Blocking;
+                Icache.Timing.Streaming;
+                Icache.Timing.Streaming_partial;
+              ];
+          prev_addr = min_int;
+          run_open = false;
+          run_len = 0;
+          run_word = 0;
+          run_fetched = 0;
+          runs_sum = 0;
+          runs_count = 0;
+          next_at = 0;
+          block_seq = false;
+        })
+      configs
+  in
+  let states_arr = Array.of_list states in
+  let nstates = Array.length states_arr in
+  let addr_of = map.Placement.Address_map.block_addr in
+  let words_of = map.Placement.Address_map.block_words in
+  Trace_gen.iter_blocks
+    (fun fid label ->
+      let base = addr_of.(fid).(label) in
+      let words = words_of.(fid).(label) in
+      if words > 0 then
+        for i = 0 to nstates - 1 do
+          let st = states_arr.(i) in
+          st.block_seq <- base = st.prev_addr + Icache.Config.word_bytes;
+          st.next_at <- 0;
+          Icache.Cache.access_run st.cache ~addr:base ~words
+            ~on_miss:(fun ~at ~word_in_block ~fetched_words ->
+              let gap = at - st.next_at in
+              if gap > 0 then
+                apply_hits st gap ~first_seq:(st.next_at > 0 || st.block_seq);
+              close_run st;
+              st.run_open <- true;
+              st.run_len <- 1;
+              st.run_word <- word_in_block;
+              st.run_fetched <- fetched_words;
+              st.next_at <- at + 1);
+          let tail = words - st.next_at in
+          if tail > 0 then
+            apply_hits st tail ~first_seq:(st.next_at > 0 || st.block_seq);
+          st.prev_addr <- base + ((words - 1) * Icache.Config.word_bytes)
+        done)
+    trace;
+  List.map result_of states
+
 let simulate_all ?timing_model configs map trace =
-  List.map (fun config -> simulate ?timing_model config map trace) configs
+  simulate_many ?timing_model configs map trace

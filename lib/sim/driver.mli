@@ -22,6 +22,19 @@ val simulate :
   Placement.Address_map.t ->
   Trace_gen.t ->
   result
+(** Word-granular reference engine: one {!Icache.Cache.access} per
+    instruction fetch.  Kept as the oracle for differential tests. *)
+
+val simulate_many :
+  ?timing_model:Icache.Timing.model ->
+  Icache.Config.t list ->
+  Placement.Address_map.t ->
+  Trace_gen.t ->
+  result list
+(** Block-granular fast path: expands the block trace once and advances
+    every configuration's cache, timers and run bookkeeping in the same
+    pass, using {!Icache.Cache.access_run} (one tag probe per cache block
+    touched).  Bit-identical to running {!simulate} per configuration. *)
 
 val simulate_all :
   ?timing_model:Icache.Timing.model ->
@@ -29,3 +42,4 @@ val simulate_all :
   Placement.Address_map.t ->
   Trace_gen.t ->
   result list
+(** Alias for {!simulate_many}. *)

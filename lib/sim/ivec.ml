@@ -1,30 +1,67 @@
 (* Growable int vector, used to store multi-million-entry block traces
-   compactly. *)
+   compactly.
 
-type t = { mutable data : int array; mutable len : int }
+   Backed by a [Bigarray] of 64-bit entries (the [Bigarray.int] kind:
+   unboxed OCaml ints stored in 8 bytes each) so the payload lives
+   outside the OCaml heap: growing a multi-million-entry trace no longer
+   doubles through the minor/major heap or adds GC scanning pressure. *)
 
-let create ?(capacity = 1024) () = { data = Array.make (max capacity 16) 0; len = 0 }
+type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { mutable data : buf; mutable len : int }
+
+let alloc capacity : buf =
+  Bigarray.Array1.create Bigarray.int Bigarray.c_layout capacity
+
+let create ?(capacity = 1024) () = { data = alloc (max capacity 16); len = 0 }
 
 let length t = t.len
 
 let push t x =
-  if t.len = Array.length t.data then begin
-    let bigger = Array.make (2 * t.len) 0 in
-    Array.blit t.data 0 bigger 0 t.len;
+  if t.len = Bigarray.Array1.dim t.data then begin
+    let bigger = alloc (2 * t.len) in
+    Bigarray.Array1.blit t.data (Bigarray.Array1.sub bigger 0 t.len);
     t.data <- bigger
   end;
-  t.data.(t.len) <- x;
+  Bigarray.Array1.unsafe_set t.data t.len x;
   t.len <- t.len + 1
 
 let get t idx =
   if idx < 0 || idx >= t.len then invalid_arg "Ivec.get";
-  t.data.(idx)
+  Bigarray.Array1.unsafe_get t.data idx
 
-let unsafe_get t idx = Array.unsafe_get t.data idx
+let unsafe_get t idx = Bigarray.Array1.unsafe_get t.data idx
 
 let iter f t =
   for idx = 0 to t.len - 1 do
-    f (Array.unsafe_get t.data idx)
+    f (Bigarray.Array1.unsafe_get t.data idx)
   done
 
-let to_array t = Array.sub t.data 0 t.len
+let iteri f t =
+  for idx = 0 to t.len - 1 do
+    f idx (Bigarray.Array1.unsafe_get t.data idx)
+  done
+
+let blit ~src ~src_pos ~dst ~dst_pos ~len =
+  if len < 0 || src_pos < 0 || src_pos + len > src.len then
+    invalid_arg "Ivec.blit";
+  if dst_pos < 0 || dst_pos > dst.len then invalid_arg "Ivec.blit";
+  (* Extend [dst] as needed (blitting at or past the end appends). *)
+  let needed = dst_pos + len in
+  if needed > Bigarray.Array1.dim dst.data then begin
+    let cap = ref (max 16 (Bigarray.Array1.dim dst.data)) in
+    while !cap < needed do
+      cap := 2 * !cap
+    done;
+    let bigger = alloc !cap in
+    Bigarray.Array1.blit
+      (Bigarray.Array1.sub dst.data 0 dst.len)
+      (Bigarray.Array1.sub bigger 0 dst.len);
+    dst.data <- bigger
+  end;
+  Bigarray.Array1.blit
+    (Bigarray.Array1.sub src.data src_pos len)
+    (Bigarray.Array1.sub dst.data dst_pos len);
+  dst.len <- max dst.len needed
+
+let to_array t = Array.init t.len (fun idx -> Bigarray.Array1.unsafe_get t.data idx)

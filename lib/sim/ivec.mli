@@ -1,4 +1,5 @@
-(** Growable int vector for multi-million-entry block traces. *)
+(** Growable int vector for multi-million-entry block traces, backed by
+    an off-heap [Bigarray] of 64-bit entries. *)
 
 type t
 
@@ -8,4 +9,11 @@ val push : t -> int -> unit
 val get : t -> int -> int
 val unsafe_get : t -> int -> int
 val iter : (int -> unit) -> t -> unit
+val iteri : (int -> int -> unit) -> t -> unit
+
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+(** Copy [len] entries from [src] at [src_pos] into [dst] at [dst_pos],
+    growing [dst] when the copy lands at or past its end ([dst_pos] may
+    be at most [length dst]). *)
+
 val to_array : t -> int array

@@ -17,5 +17,6 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("experiments", Test_experiments.suite);
       ("differential", Test_differential.suite);
+      ("fast_sim", Test_fast_sim.suite);
       ("shapes", Test_shapes.suite);
     ]

@@ -52,6 +52,55 @@ let fault_rate_bounds () =
   let r = Paging.Page_sim.fault_rate sim in
   Alcotest.(check bool) "rate in [0,1]" true (r >= 0. && r <= 1.)
 
+(* Differential: [access_run] must be bit-identical to per-word [access]
+   on every observable, including working-set samples that land in the
+   middle of a run.  Small pages/windows make runs span pages and put
+   sample ticks inside spans. *)
+let paging_chunks_gen =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";"
+        (List.map (fun (a, w) -> Printf.sprintf "(%d,%d)" a w) l))
+    QCheck.Gen.(
+      list_size (int_range 20 120)
+        (pair (map (fun a -> a * 4) (int_bound 1023)) (int_range 1 40)))
+
+let prop_access_run_equals_access =
+  QCheck.Test.make ~name:"paging access_run = per-word access" ~count:80
+    paging_chunks_gen (fun chunks ->
+      let pairs =
+        List.map
+          (fun fresh -> (fresh (), fresh ()))
+          [
+            (fun () -> mk ~page_bytes:64 ~frames:3 ~theta:37 ~sample_every:5 ());
+            (fun () ->
+              mk ~page_bytes:128 ~frames:2 ~theta:100 ~sample_every:13 ());
+            (fun () ->
+              mk ~page_bytes:512 ~frames:16 ~theta:10_000 ~sample_every:1_000 ());
+          ]
+      in
+      List.for_all
+        (fun ((ref_sim : Paging.Page_sim.t), (fast : Paging.Page_sim.t)) ->
+          List.iter
+            (fun (addr, words) ->
+              for k = 0 to words - 1 do
+                Paging.Page_sim.access ref_sim (addr + (k * 4))
+              done;
+              Paging.Page_sim.access_run fast ~addr ~words)
+            chunks;
+          Paging.Page_sim.accesses ref_sim = Paging.Page_sim.accesses fast
+          && Paging.Page_sim.distinct_pages ref_sim
+             = Paging.Page_sim.distinct_pages fast
+          && Paging.Page_sim.lru_faults ref_sim
+             = Paging.Page_sim.lru_faults fast
+          && Paging.Page_sim.fault_rate ref_sim
+             = Paging.Page_sim.fault_rate fast
+          && Paging.Page_sim.mean_working_set ref_sim
+             = Paging.Page_sim.mean_working_set fast
+          && Paging.Page_sim.max_working_set ref_sim
+             = Paging.Page_sim.max_working_set fast)
+        pairs)
+
 let suite =
   [
     Alcotest.test_case "distinct pages" `Quick distinct_pages;
@@ -59,4 +108,5 @@ let suite =
     Alcotest.test_case "working set" `Quick working_set;
     Alcotest.test_case "validation" `Quick validation;
     Alcotest.test_case "fault rate bounds" `Quick fault_rate_bounds;
+    QCheck_alcotest.to_alcotest prop_access_run_equals_access;
   ]
