@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make ci` on every PR.
 
-.PHONY: all build test bench bench-smoke ci clean
+.PHONY: all build test bench bench-smoke strategy-smoke ci clean
 
 all: build
 
@@ -19,7 +19,13 @@ bench:
 bench-smoke:
 	dune exec bench/main.exe -- --only t6 --benchmarks wc
 
-ci: build test bench-smoke
+# Smoke the layout-strategy registry: the listing must enumerate it and
+# the comparison experiment must run every registered strategy end to end.
+strategy-smoke:
+	dune exec bin/main.exe -- list
+	dune exec bin/main.exe -- table strategy-comparison -b cmp
+
+ci: build test bench-smoke strategy-smoke
 
 clean:
 	dune clean

@@ -19,20 +19,43 @@ let list_cmd =
         Printf.printf "  %-9s %s\n" b.Workloads.Bench.name
           b.Workloads.Bench.description)
       Workloads.Registry.all;
+    print_endline "\nlayout strategies (impact simulate --layout ID):";
+    List.iter
+      (fun s ->
+        Printf.printf "  %-9s %s\n" s.Placement.Strategy.id
+          s.Placement.Strategy.title)
+      Placement.Strategy.all;
     print_endline "\nexperiments (impact table ID):";
     List.iter
       (fun s ->
-        Printf.printf "  %-3s %s\n" s.Experiments.Runner.id
-          s.Experiments.Runner.title)
+        let alias =
+          match
+            List.find_opt
+              (fun (_, id) -> id = s.Experiments.Runner.id)
+              Experiments.Runner.aliases
+          with
+          | Some (alias, _) -> Printf.sprintf "  (alias: %s)" alias
+          | None -> ""
+        in
+        Printf.printf "  %-3s %s%s\n" s.Experiments.Runner.id
+          s.Experiments.Runner.title alias)
       Experiments.Runner.all
   in
-  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and experiments")
+  Cmd.v
+    (Cmd.info "list" ~doc:"List benchmarks, layout strategies and experiments")
     Term.(const run $ const ())
 
 (* impact table N *)
 let table_cmd =
   let id_arg =
-    let doc = "Experiment id (1-11); see `impact list'." in
+    (* Derive the advertised range from the registry so it cannot rot as
+       experiments are added. *)
+    let ids = List.map (fun s -> s.Experiments.Runner.id) Experiments.Runner.all in
+    let doc =
+      Printf.sprintf "Experiment id (%s-%s) or alias; see `impact list'."
+        (List.hd ids)
+        (List.nth ids (List.length ids - 1))
+    in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
   let run id names =
@@ -150,8 +173,11 @@ let simulate_cmd =
     Arg.(value & flag & info [ "prefetch" ] ~doc:"Next-line tagged prefetch.")
   in
   let layout_arg =
-    let doc = "Layout: optimized, natural, or ph (Pettis-Hansen)." in
-    Arg.(value & opt string "optimized" & info [ "layout" ] ~doc)
+    let doc =
+      Printf.sprintf "Layout strategy: %s (`optimized' = impact)."
+        (String.concat " | " (Placement.Strategy.ids ()))
+    in
+    Arg.(value & opt string "impact" & info [ "layout" ] ~doc)
   in
   let run name size block assoc fill prefetch layout =
     let assoc =
@@ -170,19 +196,21 @@ let simulate_cmd =
     let config = Icache.Config.make ~assoc ~fill ~prefetch ~size ~block () in
     let ctx = Experiments.Context.create ~names:[ name ] () in
     let e = Experiments.Context.find ctx name in
-    let map =
-      match layout with
-      | "optimized" -> Experiments.Context.optimized_map e
-      | "natural" -> Experiments.Context.natural_map e
-      | "ph" -> Experiments.Context.ph_map e
-      | _ -> failwith "bad --layout (optimized | natural | ph)"
+    let strategy =
+      let id = if layout = "optimized" then "impact" else layout in
+      try Placement.Strategy.find id
+      with Placement.Strategy.Unknown_strategy _ ->
+        failwith
+          (Printf.sprintf "bad --layout (%s)"
+             (String.concat " | " (Placement.Strategy.ids ())))
     in
+    let map = Experiments.Context.strategy_map e strategy in
     let r =
       Experiments.Context.simulate e config map (Experiments.Context.trace e)
     in
     Printf.printf "%s on %s (%s layout)\n" name
       (Icache.Config.describe config)
-      layout;
+      strategy.Placement.Strategy.id;
     Printf.printf "  accesses        %d\n" r.Sim.Driver.accesses;
     Printf.printf "  misses          %d\n" r.Sim.Driver.misses;
     Printf.printf "  miss ratio      %s\n"

@@ -29,24 +29,31 @@ let () =
         (Array.length sel.Placement.Trace_select.traces))
     pl.Placement.Pipeline.global.Placement.Global_layout.order;
 
-  (* Cache behavior across sizes, natural vs optimized. *)
+  (* Cache behavior across sizes, one column per registered layout
+     strategy.  Adding a strategy to [Placement.Strategy.all] grows the
+     table automatically. *)
   let trace =
     Sim.Trace_gen.record program (Workloads.Bench.trace_input bench)
   in
   Printf.printf "\ntrace: %d dynamic instructions\n\n"
     trace.Sim.Trace_gen.result.Vm.Interp.dyn_insns;
-  print_endline "cache    natural-miss  optimized-miss  optimized-traffic";
+  let strategies = Placement.Strategy.all in
+  let maps =
+    List.map (fun s -> Placement.Pipeline.map_for pl s) strategies
+  in
+  Printf.printf "miss ratio by strategy:\n cache";
+  List.iter
+    (fun s -> Printf.printf "  %10s" s.Placement.Strategy.id)
+    strategies;
+  print_newline ();
   List.iter
     (fun size ->
       let config = Icache.Config.make ~size ~block:64 () in
-      let natural =
-        Sim.Driver.simulate config pl.Placement.Pipeline.natural trace
-      in
-      let optimized =
-        Sim.Driver.simulate config pl.Placement.Pipeline.optimized trace
-      in
-      Printf.printf "%5dB  %12s  %14s  %17s\n" size
-        (Report.Fmtutil.pct natural.Sim.Driver.miss_ratio)
-        (Report.Fmtutil.pct optimized.Sim.Driver.miss_ratio)
-        (Report.Fmtutil.pct optimized.Sim.Driver.traffic_ratio))
+      Printf.printf "%5dB" size;
+      List.iter
+        (fun map ->
+          let r = Sim.Driver.simulate config map trace in
+          Printf.printf "  %10s" (Report.Fmtutil.pct r.Sim.Driver.miss_ratio))
+        maps;
+      print_newline ())
     [ 512; 1024; 2048; 4096; 8192 ]

@@ -1,0 +1,211 @@
+(* Call-chain clustering (C3) function ordering, after Ottoni & Maher
+   ("Optimizing Function Placement for Large-Scale Data-Center
+   Applications", CGO 2017) and the merge-gain refinement of Hoag,
+   Pupyrev et al. ("Optimizing Function Layout for Mobile
+   Applications").
+
+   Functions start as singleton clusters.  The optimizer repeatedly
+   merges the pair of call-connected clusters with the highest merge
+   gain, where the gain of placing cluster X directly before cluster Y
+   scores every call arc between the two by its proximity in the
+   concatenated layout:
+
+     gain(X.Y) = sum over cross arcs (f,g)  w(f,g) * max(0, 1 - d/D)
+
+   with d the byte distance between the two function entry points in
+   X.Y and D the locality horizon [distance_horizon] (one 4KB page: a
+   caller/callee pair further apart than a page shares neither a cache
+   line nor a page, so merging earns nothing).  Both concatenation
+   orders are scored; a merge is rejected when the combined cluster
+   would exceed [max_cluster_bytes] — the capped cluster size keeps one
+   cold call from chaining the whole program into a single cluster.
+
+   Clusters are emitted with the entry function's cluster first, the
+   remaining executed clusters by decreasing density (samples per byte,
+   the C3 paper's final ordering), and never-executed functions last in
+   definition order. *)
+
+let max_cluster_bytes = 16384
+let distance_horizon = 4096.
+let epsilon = 1e-9
+
+type cluster = {
+  cid : int; (* stable id, for deterministic tie-breaking *)
+  mutable funcs : int list; (* placement order, head first *)
+  mutable bytes : int;
+  mutable samples : int; (* total entry count *)
+}
+
+let global nfuncs ~entry (w : Weight.call_weights) : Global_layout.t =
+  (* Undirected cross-cluster call weight per function pair. *)
+  let arc_tbl = Hashtbl.create 64 in
+  for caller = 0 to nfuncs - 1 do
+    List.iter
+      (fun callee ->
+        if caller <> callee then begin
+          let weight = w.pair caller callee in
+          if weight > 0 then begin
+            let key = (min caller callee, max caller callee) in
+            let cur =
+              match Hashtbl.find_opt arc_tbl key with Some c -> c | None -> 0
+            in
+            Hashtbl.replace arc_tbl key (cur + weight)
+          end
+        end)
+      (w.callees caller)
+  done;
+  let size fid = max 1 (w.size fid) in
+  let cluster_of =
+    Array.init nfuncs (fun fid ->
+      { cid = fid; funcs = [ fid ]; bytes = size fid; samples = w.entries fid })
+  in
+  (* Entry-point byte offset of every function in a candidate
+     concatenation, then the proximity-scored gain. *)
+  let offsets funcs =
+    let tbl = Hashtbl.create 16 in
+    let cursor = ref 0 in
+    List.iter
+      (fun fid ->
+        Hashtbl.add tbl fid !cursor;
+        cursor := !cursor + size fid)
+      funcs;
+    tbl
+  in
+  let merge_gain ca cb =
+    (* Cross arcs between the two clusters. *)
+    let cross = ref [] in
+    List.iter
+      (fun f ->
+        List.iter
+          (fun g ->
+            let key = (min f g, max f g) in
+            match Hashtbl.find_opt arc_tbl key with
+            | Some weight -> cross := (f, g, weight) :: !cross
+            | None -> ())
+          cb.funcs)
+      ca.funcs;
+    match !cross with
+    | [] -> None
+    | cross_arcs ->
+      let score funcs =
+        let off = offsets funcs in
+        List.fold_left
+          (fun acc (f, g, weight) ->
+            let d =
+              float_of_int (abs (Hashtbl.find off g - Hashtbl.find off f))
+            in
+            acc +. (float_of_int weight *. Stdlib.max 0. (1. -. (d /. distance_horizon))))
+          0. cross_arcs
+      in
+      (* The entry function must stay at the very front of its cluster. *)
+      let candidates =
+        List.filter
+          (fun funcs -> match funcs with
+            | first :: _ ->
+              (not (List.mem entry funcs)) || first = entry
+            | [] -> false)
+          [ ca.funcs @ cb.funcs; cb.funcs @ ca.funcs ]
+      in
+      List.fold_left
+        (fun best funcs ->
+          let gain = score funcs in
+          match best with
+          | Some (bg, _) when bg >= gain -> best
+          | _ when gain > epsilon -> Some (gain, funcs)
+          | _ -> best)
+        None candidates
+  in
+  (* Candidate cluster pairs: those connected by a call arc. *)
+  let pair_tbl = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (f, g) _ ->
+      let a = cluster_of.(f).cid and b = cluster_of.(g).cid in
+      if a <> b then Hashtbl.replace pair_tbl (min a b, max a b) ())
+    arc_tbl;
+  let gain_cache = Hashtbl.create 64 in
+  let pair_gain (a, b) =
+    match Hashtbl.find_opt gain_cache (a, b) with
+    | Some g -> g
+    | None ->
+      let ca = cluster_of.(a) and cb = cluster_of.(b) in
+      let g =
+        if ca.bytes + cb.bytes > max_cluster_bytes then None
+        else merge_gain ca cb
+      in
+      Hashtbl.add gain_cache (a, b) g;
+      g
+  in
+  let merged = ref true in
+  while !merged do
+    merged := false;
+    let best = ref None in
+    Hashtbl.iter
+      (fun (a, b) () ->
+        if cluster_of.(a).cid = a && cluster_of.(b).cid = b then
+          match pair_gain (a, b) with
+          | None -> ()
+          | Some (gain, funcs) -> (
+            match !best with
+            | Some (bg, _, _) when bg > gain +. epsilon -> ()
+            | Some (bg, bk, _)
+              when bg >= gain -. epsilon && compare bk (a, b) <= 0 -> ()
+            | _ -> best := Some (gain, (a, b), funcs)))
+      pair_tbl;
+    match !best with
+    | None -> ()
+    | Some (_, (a, b), funcs) ->
+      let ca = cluster_of.(a) and cb = cluster_of.(b) in
+      ca.funcs <- funcs;
+      ca.bytes <- ca.bytes + cb.bytes;
+      ca.samples <- ca.samples + cb.samples;
+      List.iter (fun fid -> cluster_of.(fid) <- ca) cb.funcs;
+      let stale = ref [] and rekeyed = ref [] in
+      Hashtbl.iter
+        (fun (x, y) () ->
+          if x = a || y = a || x = b || y = b then begin
+            stale := (x, y) :: !stale;
+            let x' = if x = b then a else x and y' = if y = b then a else y in
+            if x' <> y' then rekeyed := (min x' y', max x' y') :: !rekeyed
+          end)
+        pair_tbl;
+      List.iter
+        (fun key ->
+          Hashtbl.remove pair_tbl key;
+          Hashtbl.remove gain_cache key)
+        !stale;
+      List.iter
+        (fun key ->
+          if not (Hashtbl.mem pair_tbl key) then Hashtbl.add pair_tbl key ())
+        !rekeyed;
+      merged := true
+  done;
+  (* Emission order: entry cluster, executed clusters by density, cold
+     functions in definition order. *)
+  let executed fid = w.entries fid > 0 || fid = entry in
+  let clusters = ref [] in
+  Array.iteri
+    (fun fid c ->
+      if executed fid && not (List.memq c !clusters) then
+        clusters := c :: !clusters)
+    cluster_of;
+  let clusters = List.rev !clusters in
+  let entry_cluster = cluster_of.(entry) in
+  let density c =
+    float_of_int c.samples /. float_of_int (max 1 c.bytes)
+  in
+  let rest =
+    List.sort
+      (fun a b ->
+        match compare (density b) (density a) with
+        | 0 -> compare a.cid b.cid
+        | c -> c)
+      (List.filter (fun c -> c != entry_cluster) clusters)
+  in
+  let hot =
+    List.concat_map (fun c -> List.filter executed c.funcs)
+      (entry_cluster :: rest)
+  in
+  let cold =
+    List.filter (fun fid -> not (executed fid)) (List.init nfuncs (fun i -> i))
+  in
+  { Global_layout.order = Array.of_list (hot @ cold) }

@@ -1,0 +1,9 @@
+(** Call-chain clustering (C3) function ordering: bottom-up greedy
+    merging of call-connected function clusters by proximity-scored
+    merge gain, with a byte cap on cluster size; clusters are emitted by
+    decreasing sample density.  Results reuse {!Global_layout.t} so
+    {!Address_map.build} applies unchanged. *)
+
+val global : int -> entry:int -> Weight.call_weights -> Global_layout.t
+(** [global nfuncs ~entry w] keeps the entry function's cluster first;
+    never-executed functions sink to the end in definition order. *)

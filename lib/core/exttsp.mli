@@ -1,0 +1,11 @@
+(** Extended-TSP basic-block reordering (Newell & Pupyrev, "Improved
+    Basic Block Reordering"): maximize fall-through weight plus partial
+    credit for short forward/backward jumps, via greedy chain merging
+    with the paper's three chain-splitting moves.  Results reuse
+    {!Func_layout.t} so {!Address_map.build} applies unchanged. *)
+
+open Ir
+
+val layout : Prog.func -> Weight.cfg_weights -> Func_layout.t
+(** Entry block first; never-executed blocks form the non-executed
+    region at the bottom, as in the IMPACT and Pettis-Hansen layouts. *)

@@ -21,6 +21,8 @@ open Ir
 
 type chain = {
   mutable blocks : Cfg.label list; (* in order, head first *)
+  mutable tail : Cfg.label; (* last element of [blocks], kept explicit so
+                               arc processing stays O(1) per arc *)
   mutable weight : int;
 }
 
@@ -28,9 +30,11 @@ let layout (f : Prog.func) (w : Weight.cfg_weights) : Func_layout.t =
   let n = Array.length f.blocks in
   if w.func_weight = 0 then Func_layout.layout_unexecuted f
   else begin
-    let chain_of = Array.init n (fun l -> { blocks = [ l ]; weight = w.block l }) in
+    let chain_of =
+      Array.init n (fun l -> { blocks = [ l ]; tail = l; weight = w.block l })
+    in
     let head c = List.hd c.blocks in
-    let tail c = List.nth c.blocks (List.length c.blocks - 1) in
+    let tail c = c.tail in
     (* All arcs with nonzero weight, heaviest first; ties deterministic. *)
     let arcs = ref [] in
     for src = 0 to n - 1 do
@@ -53,6 +57,7 @@ let layout (f : Prog.func) (w : Weight.cfg_weights) : Func_layout.t =
         if ca != cb && tail ca = src && head cb = dst && dst <> 0 then begin
           (* merge cb onto ca's tail *)
           ca.blocks <- ca.blocks @ cb.blocks;
+          ca.tail <- cb.tail;
           ca.weight <- ca.weight + cb.weight;
           List.iter (fun l -> chain_of.(l) <- ca) cb.blocks
         end)

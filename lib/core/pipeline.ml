@@ -102,3 +102,27 @@ let run ?(config = default_config) (original : Prog.program)
     optimized;
     natural;
   }
+
+(* Address map of the (inlined, profiled) program under any registered
+   layout strategy.  The IMPACT and natural maps the pipeline already
+   built are returned as-is — [Strategy.impact] under a non-default
+   pipeline config means "this pipeline's placement", and reusing the
+   stored maps keeps them physically shared for memoization. *)
+let map_for (t : t) (s : Strategy.t) : Address_map.t =
+  if s.Strategy.id = Strategy.impact.Strategy.id then t.optimized
+  else if s.Strategy.id = Strategy.natural.Strategy.id then t.natural
+  else begin
+    let layouts =
+      Array.mapi
+        (fun fid f ->
+          s.Strategy.layout f (Weight.cfg_of_profile t.profile fid))
+        t.program.Prog.funcs
+    in
+    let order =
+      s.Strategy.global
+        (Array.length t.program.Prog.funcs)
+        ~entry:t.program.Prog.entry
+        (Weight.call_of_profile t.profile)
+    in
+    Address_map.build t.program ~layouts ~order
+  end

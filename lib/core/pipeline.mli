@@ -29,3 +29,9 @@ type t = {
 }
 
 val run : ?config:config -> Prog.program -> inputs:Vm.Io.input list -> t
+
+val map_for : t -> Strategy.t -> Address_map.t
+(** Address map of the inlined program under any registered layout
+    strategy, reusing the pipeline's profile.  For {!Strategy.impact}
+    and {!Strategy.natural} the pipeline's stored maps are returned
+    (physically shared, so memoization keyed on identity still works). *)

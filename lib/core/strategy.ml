@@ -1,0 +1,95 @@
+(* First-class layout strategies.
+
+   A strategy packages the two halves of a code-placement algorithm —
+   per-function block ordering and global function ordering — behind one
+   record, so pipelines, experiments and the CLI can treat "which layout
+   algorithm" as data.  Adding an algorithm means adding one entry to
+   [all]; every consumer (the strategy-comparison experiment, the
+   [--layout] flag, `impact list`) picks it up from the registry.
+
+   The two new strategies deliberately vary one axis each against the
+   paper's placement: [exttsp] swaps the function-body layout (ext-TSP
+   block reordering) while keeping the paper's global call-graph DFS,
+   and [c3] swaps the global ordering (call-chain clustering) while
+   keeping the paper's trace-based function bodies. *)
+
+open Ir
+
+type t = {
+  id : string; (* stable CLI/registry name *)
+  title : string;
+  layout : Prog.func -> Weight.cfg_weights -> Func_layout.t;
+  global : int -> entry:int -> Weight.call_weights -> Global_layout.t;
+  entry_first : bool;
+      (* the strategy guarantees the program entry function leads the
+         layout (the natural definition order does not) *)
+  splits_dead_code : bool;
+      (* never-executed blocks/functions are placed after the packed
+         effective region *)
+}
+
+let impact =
+  {
+    id = "impact";
+    title = "IMPACT trace-based placement (this paper)";
+    layout =
+      (fun f w -> Func_layout.layout f w (Trace_select.select f w));
+    global = Global_layout.layout;
+    entry_first = true;
+    splits_dead_code = true;
+  }
+
+let natural =
+  {
+    id = "natural";
+    title = "natural (definition) order";
+    layout = (fun f _ -> Func_layout.natural f);
+    global = (fun nfuncs ~entry:_ _ -> Global_layout.natural nfuncs);
+    entry_first = false;
+    splits_dead_code = false;
+  }
+
+let ph =
+  {
+    id = "ph";
+    title = "Pettis-Hansen code positioning (PLDI 1990)";
+    layout = Ph_layout.layout;
+    global = Ph_layout.global;
+    (* "Closest is best" emits the entry's *group* first, but group
+       concatenation can place merged callers ahead of the entry
+       function itself, so entry-first is not guaranteed. *)
+    entry_first = false;
+    splits_dead_code = true;
+  }
+
+let exttsp =
+  {
+    id = "exttsp";
+    title = "ext-TSP block reordering (Newell-Pupyrev) + DFS global order";
+    layout = Exttsp.layout;
+    global = Global_layout.layout;
+    entry_first = true;
+    splits_dead_code = true;
+  }
+
+let c3 =
+  {
+    id = "c3";
+    title = "call-chain clustering (C3) global order + trace-based bodies";
+    layout =
+      (fun f w -> Func_layout.layout f w (Trace_select.select f w));
+    global = C3_layout.global;
+    entry_first = true;
+    splits_dead_code = true;
+  }
+
+let all = [ impact; natural; ph; exttsp; c3 ]
+
+exception Unknown_strategy of string
+
+let find id =
+  match List.find_opt (fun s -> s.id = id) all with
+  | Some s -> s
+  | None -> raise (Unknown_strategy id)
+
+let ids () = List.map (fun s -> s.id) all

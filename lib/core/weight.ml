@@ -19,6 +19,9 @@ type call_weights = {
   pair : int -> int -> int; (* caller fid -> callee fid -> total calls *)
   callees : int -> int list; (* statically called functions, deduplicated *)
   entries : int -> int; (* times the function was entered *)
+  size : int -> int; (* function byte size; layout algorithms that cap or
+                        score by distance (e.g. call-chain clustering)
+                        consult it *)
 }
 
 let cfg_of_profile (profile : Vm.Profile.t) fid =
@@ -55,6 +58,7 @@ let call_of_profile (profile : Vm.Profile.t) =
         | None -> 0);
     callees = (fun fid -> graph.Callgraph.callees.(fid));
     entries = (fun fid -> Vm.Profile.func_weight profile fid);
+    size = (fun fid -> Prog.func_byte_size prog.Prog.funcs.(fid));
   }
 
 (* Hand-built control-graph weights, for tests and examples: a list of

@@ -18,6 +18,9 @@ type call_weights = {
       (** total dynamic calls caller->callee; self-calls weigh 0 *)
   callees : int -> int list;  (** statically called functions *)
   entries : int -> int;  (** times the function was entered *)
+  size : int -> int;
+      (** function byte size, consulted by layout algorithms that cap
+          cluster sizes or score by byte distance *)
 }
 
 val cfg_of_profile : Vm.Profile.t -> int -> cfg_weights

@@ -3,12 +3,15 @@
    results — all computed lazily and at most once, since every table
    draws on the same artifacts.
 
+   Address maps are produced per layout strategy through one memoized
+   table ([strategy_map]); adding a strategy to [Placement.Strategy.all]
+   makes it available to every experiment with no new plumbing here.
+
    Simulation results are memoized per (address map, trace, cache
-   configuration): design points shared between tables (e.g. the 2KB/64B
-   direct-mapped point appears in Tables 6 and 8, the comparison, and
-   several ablations) are simulated exactly once.  Maps are keyed by
-   physical identity, which is why every map getter below is itself
-   memoized. *)
+   configuration) in a hashtable: maps and traces are interned to small
+   integer ids on first sight (identity-keyed, which is why every map
+   getter below is itself memoized), so a lookup costs one hash probe
+   rather than a scan of everything simulated so far. *)
 
 type entry = {
   bench : Workloads.Bench.t;
@@ -17,14 +20,12 @@ type entry = {
   trace : Sim.Trace_gen.t Lazy.t; (* inlined program, trace input *)
   original_trace : Sim.Trace_gen.t Lazy.t; (* pre-inlining program *)
   lazy_original_map : Placement.Address_map.t Lazy.t;
-  lazy_ph_map : Placement.Address_map.t Lazy.t;
+  mutable strategy_maps : (string * Placement.Address_map.t) list;
+      (* strategy id -> map of the inlined program under that strategy *)
   mutable scaled_maps : (float * Placement.Address_map.t) list;
-  mutable sim_results :
-    (Placement.Address_map.t
-    * Sim.Trace_gen.t
-    * Icache.Config.t
-    * Sim.Driver.result)
-    list;
+  mutable map_ids : (Placement.Address_map.t * int) list;
+  mutable trace_ids : (Sim.Trace_gen.t * int) list;
+  sim_cache : (int * int * Icache.Config.t, Sim.Driver.result) Hashtbl.t;
 }
 
 type t = entry list
@@ -64,28 +65,6 @@ let make_entry bench =
       (Placement.Address_map.natural
          (Lazy.force pipeline).Placement.Pipeline.original)
   in
-  let lazy_ph_map =
-    (* Pettis-Hansen layout of the inlined program, for the
-       layout-algorithm comparison experiment. *)
-    lazy
-      (let p = Lazy.force pipeline in
-       let program = p.Placement.Pipeline.program in
-       let layouts =
-         Array.mapi
-           (fun fid f ->
-             Placement.Ph_layout.layout f
-               (Placement.Weight.cfg_of_profile p.Placement.Pipeline.profile
-                  fid))
-           program.Ir.Prog.funcs
-       in
-       let order =
-         Placement.Ph_layout.global
-           (Array.length program.Ir.Prog.funcs)
-           ~entry:program.Ir.Prog.entry
-           (Placement.Weight.call_of_profile p.Placement.Pipeline.profile)
-       in
-       Placement.Address_map.build program ~layouts ~order)
-  in
   {
     bench;
     pipeline;
@@ -93,9 +72,11 @@ let make_entry bench =
     trace;
     original_trace;
     lazy_original_map;
-    lazy_ph_map;
+    strategy_maps = [];
     scaled_maps = [];
-    sim_results = [];
+    map_ids = [];
+    trace_ids = [];
+    sim_cache = Hashtbl.create 64;
   }
 
 let create ?names () =
@@ -123,7 +104,16 @@ let original_trace e = Lazy.force e.original_trace
 let optimized_map e = (pipeline e).Placement.Pipeline.optimized
 let natural_map e = (pipeline e).Placement.Pipeline.natural
 let original_map e = Lazy.force e.lazy_original_map
-let ph_map e = Lazy.force e.lazy_ph_map
+
+(* Address map of the inlined program under a registered layout
+   strategy, built at most once per (entry, strategy). *)
+let strategy_map e (s : Placement.Strategy.t) =
+  match List.assoc_opt s.Placement.Strategy.id e.strategy_maps with
+  | Some map -> map
+  | None ->
+    let map = Placement.Pipeline.map_for (pipeline e) s in
+    e.strategy_maps <- (s.Placement.Strategy.id, map) :: e.strategy_maps;
+    map
 
 (* Address map for the code-scaling experiment (Table 9): the inlined
    program with every block size scaled, laid out with the same trace
@@ -159,11 +149,34 @@ let scaled_map e factor =
 (* Memoized simulation                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* Intern maps and traces to small ids on physical identity, so cached
+   results key on a hashable (map id, trace id, config) triple.  The
+   interning lists stay tiny — a handful of maps and two traces per
+   entry — while the result cache can hold hundreds of design points. *)
+let map_id e map =
+  match
+    List.find_map (fun (m, i) -> if m == map then Some i else None) e.map_ids
+  with
+  | Some i -> i
+  | None ->
+    let i = List.length e.map_ids in
+    e.map_ids <- (map, i) :: e.map_ids;
+    i
+
+let trace_id e trace =
+  match
+    List.find_map
+      (fun (t, i) -> if t == trace then Some i else None)
+      e.trace_ids
+  with
+  | Some i -> i
+  | None ->
+    let i = List.length e.trace_ids in
+    e.trace_ids <- (trace, i) :: e.trace_ids;
+    i
+
 let find_cached e config ~map ~trace =
-  List.find_map
-    (fun (m, t, c, r) ->
-      if m == map && t == trace && c = config then Some r else None)
-    e.sim_results
+  Hashtbl.find_opt e.sim_cache (map_id e map, trace_id e trace, config)
 
 (* Simulate every configuration of [configs] on (map, trace), reusing
    cached results and running all uncached configurations through the
@@ -178,9 +191,11 @@ let simulate_many e configs map trace =
   (match missing with
   | [] -> ()
   | _ ->
+    let key = (map_id e map, trace_id e trace) in
     let results = Sim.Driver.simulate_many missing map trace in
     List.iter2
-      (fun c r -> e.sim_results <- (map, trace, c, r) :: e.sim_results)
+      (fun c r ->
+        Hashtbl.replace e.sim_cache (fst key, snd key, c) r)
       missing results);
   List.map
     (fun c ->

@@ -1,5 +1,6 @@
 (** Shared experiment context: per benchmark, the placement pipeline, the
-    recorded traces, derived address maps, and memoized cache simulation
+    recorded traces, derived address maps (one memoized table covering
+    every registered layout strategy), and memoized cache simulation
     results — computed lazily and at most once, since every table draws
     on the same artifacts. *)
 
@@ -10,14 +11,11 @@ type entry = {
   trace : Sim.Trace_gen.t Lazy.t;
   original_trace : Sim.Trace_gen.t Lazy.t;
   lazy_original_map : Placement.Address_map.t Lazy.t;
-  lazy_ph_map : Placement.Address_map.t Lazy.t;
+  mutable strategy_maps : (string * Placement.Address_map.t) list;
   mutable scaled_maps : (float * Placement.Address_map.t) list;
-  mutable sim_results :
-    (Placement.Address_map.t
-    * Sim.Trace_gen.t
-    * Icache.Config.t
-    * Sim.Driver.result)
-    list;
+  mutable map_ids : (Placement.Address_map.t * int) list;
+  mutable trace_ids : (Sim.Trace_gen.t * int) list;
+  sim_cache : (int * int * Icache.Config.t, Sim.Driver.result) Hashtbl.t;
 }
 
 type t = entry list
@@ -42,9 +40,11 @@ val original_map : entry -> Placement.Address_map.t
 (** Natural layout of the pre-inlining program: the fully unoptimized
     baseline.  Memoized. *)
 
-val ph_map : entry -> Placement.Address_map.t
-(** Pettis-Hansen layout of the inlined program, for the layout-algorithm
-    comparison.  Memoized. *)
+val strategy_map : entry -> Placement.Strategy.t -> Placement.Address_map.t
+(** Address map of the inlined program under a registered layout
+    strategy, via {!Placement.Pipeline.map_for}.  Memoized per strategy
+    id; for {!Placement.Strategy.impact} / {!Placement.Strategy.natural}
+    the returned map is physically the pipeline's own. *)
 
 val scaled_map : entry -> float -> Placement.Address_map.t
 (** Address map for the code-scaling experiment (Table 9): the inlined
@@ -57,10 +57,12 @@ val simulate :
   Placement.Address_map.t ->
   Sim.Trace_gen.t ->
   Sim.Driver.result
-(** Trace-driven simulation, memoized per (map, trace, config): design
-    points shared between tables are simulated exactly once.  Maps and
-    traces are keyed by physical identity — use the memoized getters
-    above so repeated calls share one map. *)
+(** Trace-driven simulation, memoized per (map, trace, config) in a
+    hashtable keyed on interned map/trace ids: design points shared
+    between tables are simulated exactly once and lookups stay O(1) no
+    matter how many results accumulate.  Maps and traces are keyed by
+    physical identity — use the memoized getters above so repeated calls
+    share one map. *)
 
 val simulate_many :
   entry ->

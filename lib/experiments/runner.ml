@@ -24,12 +24,18 @@ let all : spec list =
     { id = "14"; title = "Analytical estimation vs simulation"; table = Estimate_exp.table };
     { id = "15"; title = "Associativity sweep"; table = Assoc_exp.table };
     { id = "16"; title = "Next-line prefetch ablation"; table = Prefetch_exp.table };
-    { id = "17"; title = "IMPACT vs Pettis-Hansen layout"; table = Ph_exp.table };
+    { id = "17"; title = "Layout strategy comparison"; table = Strategy_exp.table };
   ]
 
 exception Unknown_experiment of string
 
+(* Mnemonic aliases accepted anywhere an experiment id is. *)
+let aliases = [ ("strategy-comparison", "17"); ("strategies", "17") ]
+
 let find id =
+  let id =
+    match List.assoc_opt id aliases with Some id -> id | None -> id
+  in
   match List.find_opt (fun s -> s.id = id) all with
   | Some s -> s
   | None -> raise (Unknown_experiment id)

@@ -10,6 +10,12 @@ type spec = {
 exception Unknown_experiment of string
 
 val all : spec list
+
+val aliases : (string * string) list
+(** Mnemonic aliases accepted by {!find} (e.g. ["strategy-comparison"]). *)
+
 val find : string -> spec
+(** Lookup by id or alias; raises {!Unknown_experiment}. *)
+
 val run_one : Context.t -> spec -> string
 val run_all : Context.t -> string

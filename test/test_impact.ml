@@ -9,6 +9,7 @@ let () =
       ("profile", Test_profile.suite);
       ("trace_select", Test_trace_select.suite);
       ("layout", Test_layout.suite);
+      ("strategy", Test_strategy.suite);
       ("inline", Test_inline.suite);
       ("cache", Test_cache.suite);
       ("workloads", Test_workloads.suite);

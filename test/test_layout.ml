@@ -59,6 +59,7 @@ let global_dfs_order () =
       callees =
         (function 0 -> [ 2; 1 ] | 1 -> [ 3 ] | _ -> []);
       entries = (fun _ -> 1);
+      size = (fun _ -> 16);
     }
   in
   let g = Placement.Global_layout.layout 5 ~entry:0 w in
@@ -132,6 +133,7 @@ let ph_global () =
           | _ -> 0);
       callees = (function 0 -> [ 1; 2 ] | 1 -> [ 3 ] | _ -> []);
       entries = (fun fid -> if fid = 4 then 0 else 1);
+      size = (fun _ -> 16);
     }
   in
   let g = Placement.Ph_layout.global 5 ~entry:0 w in
@@ -144,7 +146,7 @@ let ph_end_to_end () =
   (* P-H maps are valid address maps and preserve program size. *)
   let ctx = Experiments.Context.create ~names:[ "tee" ] () in
   let e = List.hd (Experiments.Context.entries ctx) in
-  let map = Experiments.Context.ph_map e in
+  let map = Experiments.Context.strategy_map e Placement.Strategy.ph in
   Alcotest.(check bool) "disjoint" true (Placement.Address_map.is_disjoint map);
   Alcotest.(check int) "same total bytes"
     (Experiments.Context.optimized_map e).Placement.Address_map.total_bytes
