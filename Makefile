@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make ci` on every PR.
 
-.PHONY: all build test bench bench-smoke strategy-smoke ci clean
+.PHONY: all build test bench bench-smoke strategy-smoke fuzz-smoke validate-smoke ci clean
 
 all: build
 
@@ -25,7 +25,18 @@ strategy-smoke:
 	dune exec bin/main.exe -- list
 	dune exec bin/main.exe -- table strategy-comparison -b cmp
 
-ci: build test bench-smoke strategy-smoke
+# Differential layout fuzzer: 200 seeded random programs through the
+# whole pipeline and every registered strategy, violation-free.  Seeds
+# are printed so a failure is reproducible with `fuzz --seed N`.
+fuzz-smoke:
+	dune exec bin/fuzz.exe -- --seed 1 --count 200
+
+# One table under exhaustive invariant verification (flow conservation
+# and the simulation cross-check included); nonzero exit on violation.
+validate-smoke:
+	dune exec bin/main.exe -- table strategy-comparison -b cmp --validate=full
+
+ci: build test bench-smoke strategy-smoke fuzz-smoke validate-smoke
 
 clean:
 	dune clean

@@ -10,6 +10,38 @@ let bench_names_arg =
 
 let context_of names = Experiments.Context.create ?names ()
 
+(* --validate for table runs: cheap invariant checks by default, [full]
+   adds flow conservation and the simulation cross-check, [off] skips.
+   Violations go to stderr and the first error decides the exit code
+   (see the handler at the bottom of this file). *)
+let validate_arg =
+  let doc =
+    "Pipeline invariant verification: $(b,off), $(b,cheap) (default; \
+     structure, selection, layouts, every strategy's address map, trace \
+     layout-invariance) or $(b,full) (adds profile flow conservation \
+     and the simulation access-count cross-check)."
+  in
+  let level =
+    Arg.enum
+      [
+        ("off", None);
+        ("cheap", Some Experiments.Validation.Cheap);
+        ("full", Some Experiments.Validation.Full);
+      ]
+  in
+  Arg.(
+    value
+    & opt level (Some Experiments.Validation.Cheap)
+    & info [ "validate" ] ~docv:"LEVEL" ~doc)
+
+let run_validation level ctx =
+  match level with
+  | None -> ()
+  | Some level ->
+    let diags = Experiments.Validation.check ~level ctx in
+    List.iter (fun d -> prerr_endline (Ir.Diag.to_string d)) diags;
+    Ir.Diag.raise_first diags
+
 (* impact list *)
 let list_cmd =
   let run () =
@@ -58,24 +90,26 @@ let table_cmd =
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id names =
+  let run id names validate =
     let spec = Experiments.Runner.find id in
     let ctx = context_of names in
-    print_string (Experiments.Runner.run_one ctx spec)
+    print_string (Experiments.Runner.run_one ctx spec);
+    run_validation validate ctx
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Regenerate one of the paper's tables")
-    Term.(const run $ id_arg $ bench_names_arg)
+    Term.(const run $ id_arg $ bench_names_arg $ validate_arg)
 
 (* impact all *)
 let all_cmd =
-  let run names =
+  let run names validate =
     let ctx = context_of names in
-    print_string (Experiments.Runner.run_all ctx)
+    print_string (Experiments.Runner.run_all ctx);
+    run_validation validate ctx
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every table")
-    Term.(const run $ bench_names_arg)
+    Term.(const run $ bench_names_arg $ validate_arg)
 
 (* impact run BENCH *)
 let run_cmd =
@@ -277,4 +311,23 @@ let main_cmd =
       estimate_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+(* Deterministic exit codes: cmdliner owns usage errors (2); structured
+   diagnostics map each failure class to its own code (10..17, see
+   [Ir.Diag.exit_code]); unknown names are usage errors. *)
+let () =
+  try exit (Cmd.eval ~catch:false main_cmd) with
+  | Ir.Diag.Fail d ->
+    prerr_endline (Ir.Diag.to_string d);
+    exit (Ir.Diag.exit_code d)
+  | Workloads.Registry.Unknown_benchmark name ->
+    Printf.eprintf "unknown benchmark: %s (see `impact list')\n" name;
+    exit 2
+  | Experiments.Runner.Unknown_experiment id ->
+    Printf.eprintf "unknown experiment: %s (see `impact list')\n" id;
+    exit 2
+  | Placement.Strategy.Unknown_strategy id ->
+    Printf.eprintf "unknown strategy: %s (see `impact list')\n" id;
+    exit 2
+  | Failure msg ->
+    prerr_endline msg;
+    exit 2

@@ -52,7 +52,8 @@ let splice (caller : Prog.func) site (callee : Prog.func) : Prog.func =
   match call_block.Cfg.term with
   | Cfg.Call { args; dst; ret_to; callee = callee_name } ->
     if callee_name <> callee.name then
-      invalid_arg "Inline.splice: callee mismatch";
+      Diag.error ~stage:Diag.Structure ~func:caller.name ~block:site
+        "inline splice: call targets %s, not %s" callee_name callee.name;
     let base_label = Array.length caller.blocks in
     let base_reg = caller.nregs in
     let remap_l l = base_label + l in
@@ -100,7 +101,8 @@ let splice (caller : Prog.func) site (callee : Prog.func) : Prog.func =
     blocks.(site) <- call_block';
     { caller with nregs = base_reg + callee.nregs; blocks }
   | Cfg.Jump _ | Cfg.Br _ | Cfg.Switch _ | Cfg.Ret _ ->
-    invalid_arg "Inline.splice: block does not end in a call"
+    Diag.error ~stage:Diag.Structure ~func:caller.name ~block:site
+      "inline splice: block does not end in a call to %s" callee.name
 
 (* One pass over the weighted call graph: inline the qualifying sites in
    decreasing dynamic-count order, respecting size and recursion limits.

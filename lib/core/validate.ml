@@ -1,0 +1,301 @@
+(* Cross-layer invariant verifier for the placement pipeline.
+
+   Every layout the pipeline emits must be a semantics-preserving
+   permutation of the program; this module checks that property — and
+   the invariants of every stage leading up to it — and reports each
+   violation as a structured [Ir.Diag.t] instead of trusting the stages
+   blindly.  The checks, per stage:
+
+   - profile flow conservation: a completed profile satisfies
+       weight(b) = entries + sum(in-arcs)   (entries only for block 0)
+       weight(b) = sum(out-arcs)            (unless b ends in Ret)
+     because the interpreter records exactly one outgoing arc per block
+     execution (call-block arcs are recorded when the callee returns);
+   - trace selection: the traces partition the function's blocks and the
+     entry block is covered;
+   - function layout: each layout is a permutation of the function's
+     blocks with a well-formed active prefix;
+   - global layout: a permutation of the function ids;
+   - address map: block sizes preserved, every range 4-byte aligned and
+     inside the code segment, ranges pairwise disjoint, total size equal
+     to the program's byte size (together: a bijective permutation of
+     the code bytes), and the strategy's metadata claims honored —
+     [entry_first] puts the entry block at [code_base], and
+     [splits_dead_code] puts never-executed blocks at or beyond the
+     effective-region boundary and executed blocks inside it.
+
+   [Cheap] covers the structural and address-map invariants (linear in
+   program size, run by default before table runs); [Full] adds profile
+   flow conservation over both recorded profiles.  The simulation
+   cross-check (dynamic instruction count is layout-invariant across
+   strategies) needs the sim layer and lives in
+   [Experiments.Validation]. *)
+
+open Ir
+
+type level = Cheap | Full
+
+(* ------------------------------------------------------------------ *)
+(* Profile flow conservation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let flow (p : Vm.Profile.t) : Diag.t list =
+  let acc = ref [] in
+  let prog = p.Vm.Profile.prog in
+  Array.iteri
+    (fun fid (f : Prog.func) ->
+      let report ?block fmt =
+        Fmt.kstr
+          (fun message ->
+            acc :=
+              Diag.make ~stage:Diag.Profile ~func:f.Prog.name ?block "%s"
+                message
+              :: !acc)
+          fmt
+      in
+      let incoming = Vm.Profile.in_arcs p fid in
+      let entries = Vm.Profile.func_weight p fid in
+      Array.iteri
+        (fun l (b : Cfg.block) ->
+          let w = Vm.Profile.block_weight p fid l in
+          let inflow =
+            List.fold_left (fun s (_, c) -> s + c) 0 incoming.(l)
+            + if l = 0 then entries else 0
+          in
+          if inflow <> w then
+            report ~block:l
+              "flow not conserved: weight %d but inflow %d (%d entries + \
+               in-arcs)"
+              w inflow
+              (if l = 0 then entries else 0);
+          let outflow =
+            List.fold_left
+              (fun s (_, c) -> s + c)
+              0
+              (Vm.Profile.out_arcs p fid l)
+          in
+          match b.Cfg.term with
+          | Cfg.Ret _ ->
+            if outflow <> 0 then
+              report ~block:l "return block has outgoing arcs (weight %d)"
+                outflow
+          | _ ->
+            if outflow <> w then
+              report ~block:l
+                "flow not conserved: weight %d but outflow %d" w outflow)
+        f.Prog.blocks)
+    prog.Prog.funcs;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Trace selection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let selection ~func (f : Prog.func) (sel : Trace_select.t) : Diag.t list =
+  let n = Array.length f.blocks in
+  let acc = ref [] in
+  let report fmt =
+    Fmt.kstr
+      (fun message ->
+        acc :=
+          Diag.make ~stage:Diag.Trace_selection ~func "%s" message :: !acc)
+      fmt
+  in
+  if not (Trace_select.is_partition sel n) then
+    report "traces do not partition the %d blocks" n;
+  Array.iteri
+    (fun id trace ->
+      if Array.length trace = 0 then report "trace %d is empty" id)
+    sel.Trace_select.traces;
+  if n > 0 && Array.length sel.Trace_select.trace_of > 0 then begin
+    let entry_trace = sel.Trace_select.trace_of.(0) in
+    if entry_trace < 0 || entry_trace >= Array.length sel.Trace_select.traces
+    then report "entry block not covered by any trace"
+  end;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Address map                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let map ?(strategy : Strategy.t option) ~(program : Prog.program)
+    ~(weights : int -> Weight.cfg_weights) (m : Address_map.t) :
+    Diag.t list =
+  let acc = ref [] in
+  let sid = Option.map (fun s -> s.Strategy.id) strategy in
+  let report ?func ?block fmt =
+    Fmt.kstr
+      (fun message ->
+        acc :=
+          Diag.make ~stage:Diag.Address_map ?func ?block ?strategy:sid "%s"
+            message
+          :: !acc)
+      fmt
+  in
+  let nfuncs = Array.length program.Prog.funcs in
+  if
+    Array.length m.Address_map.block_addr <> nfuncs
+    || Array.length m.Address_map.block_words <> nfuncs
+  then begin
+    report "map covers %d functions but the program has %d"
+      (Array.length m.Address_map.block_addr)
+      nfuncs;
+    List.rev !acc
+  end
+  else begin
+    let base = Address_map.code_base in
+    let limit = base + m.Address_map.total_bytes in
+    (* Collect every block range while checking the per-block invariants. *)
+    let ranges = ref [] in
+    Array.iteri
+      (fun fid (f : Prog.func) ->
+        let func = f.Prog.name in
+        let addrs = m.Address_map.block_addr.(fid) in
+        let words = m.Address_map.block_words.(fid) in
+        if Array.length addrs <> Array.length f.blocks then
+          report ~func "map has %d blocks but the function has %d"
+            (Array.length addrs) (Array.length f.blocks)
+        else
+          Array.iteri
+            (fun l b ->
+              let addr = addrs.(l) in
+              let w = words.(l) in
+              if w <> Cfg.instr_count b then
+                report ~func ~block:l
+                  "size not preserved: map says %d words, block has %d" w
+                  (Cfg.instr_count b);
+              if addr mod Insn.bytes_per_insn <> 0 then
+                report ~func ~block:l "unaligned address %d" addr;
+              let bytes = w * Insn.bytes_per_insn in
+              if addr < base || addr + bytes > limit then
+                report ~func ~block:l
+                  "range [%d,%d) outside code segment [%d,%d)" addr
+                  (addr + bytes) base limit;
+              ranges := (addr, addr + bytes, fid, l) :: !ranges)
+            f.blocks)
+      program.Prog.funcs;
+    (* Size preservation: the map spans exactly the program's code bytes;
+       with disjointness below this makes the layout a bijective
+       permutation of the code space. *)
+    let program_bytes = Prog.total_byte_size program in
+    if m.Address_map.total_bytes <> program_bytes then
+      report "total %d bytes but the program has %d bytes"
+        m.Address_map.total_bytes program_bytes;
+    if
+      m.Address_map.effective_bytes < 0
+      || m.Address_map.effective_bytes > m.Address_map.total_bytes
+    then
+      report "effective region %d outside [0,%d]"
+        m.Address_map.effective_bytes m.Address_map.total_bytes;
+    (* Overlaps: sort by start address and compare neighbours. *)
+    let sorted =
+      List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b) !ranges
+    in
+    let rec overlaps = function
+      | (_s1, e1, f1, l1) :: ((s2, _, f2, l2) :: _ as rest) ->
+        if e1 > s2 then
+          report
+            ~func:program.Prog.funcs.(f2).Prog.name
+            ~block:l2 "range [%d,..) overlaps block %s.b%d ending at %d" s2
+            program.Prog.funcs.(f1).Prog.name l1 e1;
+        overlaps rest
+      | [ _ ] | [] -> ()
+    in
+    overlaps sorted;
+    (* Per-strategy metadata claims. *)
+    (match strategy with
+    | Some s when s.Strategy.entry_first ->
+      let entry_addr =
+        m.Address_map.block_addr.(program.Prog.entry).(0)
+      in
+      if entry_addr <> base then
+        report
+          ~func:program.Prog.funcs.(program.Prog.entry).Prog.name
+          ~block:0 "strategy claims entry-first but entry block is at %d"
+          entry_addr
+    | _ -> ());
+    (match strategy with
+    | Some s when s.Strategy.splits_dead_code ->
+      let boundary = base + m.Address_map.effective_bytes in
+      Array.iteri
+        (fun fid (f : Prog.func) ->
+          let w = weights fid in
+          Array.iteri
+            (fun l _ ->
+              let dead =
+                w.Weight.func_weight = 0 || w.Weight.block l = 0
+              in
+              let addr = m.Address_map.block_addr.(fid).(l) in
+              if dead && addr < boundary then
+                report ~func:f.Prog.name ~block:l
+                  "never-executed block at %d inside the effective region \
+                   (< %d)"
+                  addr boundary
+              else if (not dead) && addr >= boundary then
+                report ~func:f.Prog.name ~block:l
+                  "executed block at %d outside the effective region (>= %d)"
+                  addr boundary)
+            f.blocks)
+        program.Prog.funcs
+    | _ -> ());
+    List.rev !acc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Whole pipeline                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline ?(level = Cheap) (t : Pipeline.t) : Diag.t list =
+  let program = t.Pipeline.program in
+  let weights fid = Weight.cfg_of_profile t.Pipeline.profile fid in
+  let structural =
+    Check.diags program @ Check.diags t.Pipeline.original
+  in
+  let selections =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun fid sel ->
+              selection ~func:program.Prog.funcs.(fid).Prog.name
+                program.Prog.funcs.(fid) sel)
+            t.Pipeline.selections))
+  in
+  let layouts =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun fid lay ->
+              let f = program.Prog.funcs.(fid) in
+              if
+                Func_layout.is_permutation lay (Array.length f.Prog.blocks)
+              then []
+              else
+                [
+                  Diag.make ~stage:Diag.Layout ~func:f.Prog.name
+                    "layout is not a permutation of the %d blocks"
+                    (Array.length f.Prog.blocks);
+                ])
+            t.Pipeline.layouts))
+  in
+  let global =
+    if
+      Global_layout.is_permutation t.Pipeline.global
+        (Array.length program.Prog.funcs)
+    then []
+    else
+      [
+        Diag.make ~stage:Diag.Layout
+          "global order is not a permutation of the %d functions"
+          (Array.length program.Prog.funcs);
+      ]
+  in
+  let maps =
+    map ~strategy:Strategy.impact ~program ~weights t.Pipeline.optimized
+    @ map ~strategy:Strategy.natural ~program ~weights t.Pipeline.natural
+  in
+  let profiles =
+    match level with
+    | Cheap -> []
+    | Full -> flow t.Pipeline.profile @ flow t.Pipeline.original_profile
+  in
+  structural @ profiles @ selections @ layouts @ global @ maps

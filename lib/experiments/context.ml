@@ -22,6 +22,9 @@ type entry = {
   lazy_original_map : Placement.Address_map.t Lazy.t;
   mutable strategy_maps : (string * Placement.Address_map.t) list;
       (* strategy id -> map of the inlined program under that strategy *)
+  mutable warnings : Ir.Diag.t list;
+      (* degradation warnings recorded during this entry's lifetime,
+         newest first (e.g. a strategy that raised and fell back) *)
   mutable scaled_maps : (float * Placement.Address_map.t) list;
   mutable map_ids : (Placement.Address_map.t * int) list;
   mutable trace_ids : (Sim.Trace_gen.t * int) list;
@@ -73,6 +76,7 @@ let make_entry bench =
     original_trace;
     lazy_original_map;
     strategy_maps = [];
+    warnings = [];
     scaled_maps = [];
     map_ids = [];
     trace_ids = [];
@@ -106,14 +110,42 @@ let natural_map e = (pipeline e).Placement.Pipeline.natural
 let original_map e = Lazy.force e.lazy_original_map
 
 (* Address map of the inlined program under a registered layout
-   strategy, built at most once per (entry, strategy). *)
+   strategy, built at most once per (entry, strategy).
+
+   Graceful degradation: a strategy that raises mid-construction must
+   not abort a whole experiment sweep, so the failure is recorded as a
+   [Strategy]-stage warning and the entry falls back to the natural
+   layout for that strategy id.  Callers can inspect {!warnings} /
+   {!fell_back} and render the substitution visibly. *)
 let strategy_map e (s : Placement.Strategy.t) =
-  match List.assoc_opt s.Placement.Strategy.id e.strategy_maps with
+  let id = s.Placement.Strategy.id in
+  match List.assoc_opt id e.strategy_maps with
   | Some map -> map
   | None ->
-    let map = Placement.Pipeline.map_for (pipeline e) s in
-    e.strategy_maps <- (s.Placement.Strategy.id, map) :: e.strategy_maps;
+    let map =
+      try Placement.Pipeline.map_for (pipeline e) s
+      with exn ->
+        let detail =
+          match exn with
+          | Ir.Diag.Fail d -> Ir.Diag.to_string d
+          | _ -> Printexc.to_string exn
+        in
+        e.warnings <-
+          Ir.Diag.make ~severity:Ir.Diag.Warning ~stage:Ir.Diag.Strategy
+            ~strategy:id "%s: strategy failed (%s); fell back to the \
+                          natural layout"
+            (name e) detail
+          :: e.warnings;
+        (pipeline e).Placement.Pipeline.natural
+    in
+    e.strategy_maps <- (id, map) :: e.strategy_maps;
     map
+
+let warnings e = List.rev e.warnings
+
+(* Did [strategy_map] substitute the natural layout for this strategy? *)
+let fell_back e id =
+  List.exists (fun d -> d.Ir.Diag.strategy = Some id) e.warnings
 
 (* Address map for the code-scaling experiment (Table 9): the inlined
    program with every block size scaled, laid out with the same trace
@@ -201,10 +233,16 @@ let simulate_many e configs map trace =
     (fun c ->
       match find_cached e c ~map ~trace with
       | Some r -> r
-      | None -> assert false)
+      | None ->
+        Ir.Diag.error ~stage:Ir.Diag.Simulation
+          "%s: configuration missing from the simulation cache after a \
+           fill pass"
+          (name e))
     configs
 
 let simulate e config map trace =
   match simulate_many e [ config ] map trace with
   | [ r ] -> r
-  | _ -> assert false
+  | rs ->
+    Ir.Diag.error ~stage:Ir.Diag.Simulation
+      "%s: expected 1 simulation result, got %d" (name e) (List.length rs)

@@ -12,6 +12,7 @@ type entry = {
   original_trace : Sim.Trace_gen.t Lazy.t;
   lazy_original_map : Placement.Address_map.t Lazy.t;
   mutable strategy_maps : (string * Placement.Address_map.t) list;
+  mutable warnings : Ir.Diag.t list;
   mutable scaled_maps : (float * Placement.Address_map.t) list;
   mutable map_ids : (Placement.Address_map.t * int) list;
   mutable trace_ids : (Sim.Trace_gen.t * int) list;
@@ -44,7 +45,18 @@ val strategy_map : entry -> Placement.Strategy.t -> Placement.Address_map.t
 (** Address map of the inlined program under a registered layout
     strategy, via {!Placement.Pipeline.map_for}.  Memoized per strategy
     id; for {!Placement.Strategy.impact} / {!Placement.Strategy.natural}
-    the returned map is physically the pipeline's own. *)
+    the returned map is physically the pipeline's own.
+
+    A strategy that raises never aborts the caller: the failure is
+    recorded as a [Strategy]-stage warning on the entry and the natural
+    layout is substituted — check {!fell_back} / {!warnings}. *)
+
+val warnings : entry -> Ir.Diag.t list
+(** Degradation warnings recorded so far, oldest first. *)
+
+val fell_back : entry -> string -> bool
+(** [fell_back e id]: did {!strategy_map} substitute the natural layout
+    for strategy [id] because it raised? *)
 
 val scaled_map : entry -> float -> Placement.Address_map.t
 (** Address map for the code-scaling experiment (Table 9): the inlined

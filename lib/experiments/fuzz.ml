@@ -1,0 +1,234 @@
+(* Differential layout fuzzer engine.
+
+   One fuzz case: generate a seeded random mini-C program, lower it,
+   run the whole placement pipeline on it, build the address map of
+   every registered layout strategy, and check
+
+   - every structural / flow / selection / layout / map invariant
+     ([Placement.Validate], at [Full] level);
+   - inline expansion preserved semantics (the original and inlined
+     programs produce the same return value and output);
+   - the dynamic instruction count of the recorded block trace is the
+     same under every strategy's map (layout invariance);
+   - a cache simulation over each map accesses exactly that many
+     instructions.
+
+   On failure the case is shrunk greedily ([Ir.Gen.shrink]) while the
+   first violation stays in the same stage — so the reproducer exhibits
+   the original failure class, not some unrelated breakage introduced by
+   the reduction — and reported with its seed, which regenerates the
+   unshrunk program deterministically. *)
+
+type failure = {
+  seed : int;
+  size : int;
+  diags : Ir.Diag.t list;  (** violations of the generated program *)
+  shrunk : Ir.Ast.program;  (** minimal reproducer *)
+  shrunk_diags : Ir.Diag.t list;  (** violations it still exhibits *)
+  shrink_steps : int;
+}
+
+let fuel = 50_000_000
+let case_input = Vm.Io.input []
+
+(* Geometry is irrelevant to the access-count cross-check; a small cache
+   keeps a 200-case smoke run fast. *)
+let sim_config = Icache.Config.make ~size:512 ~block:16 ()
+
+let catching stage f =
+  try Ok (f ()) with
+  | Ir.Diag.Fail d -> Error [ d ]
+  | Vm.Interp.Fault m -> Error [ Ir.Diag.make ~stage "VM fault: %s" m ]
+  | exn -> Error [ Ir.Diag.make ~stage "%s" (Printexc.to_string exn) ]
+
+(* All violations exhibited by one generated program, or [] if the whole
+   pipeline holds up.  Stages are checked in order and a failing stage
+   short-circuits the rest (its artifacts would be garbage anyway). *)
+let check_program ?(strategies = Placement.Strategy.all)
+    (ast : Ir.Ast.program) : Ir.Diag.t list =
+  match catching Ir.Diag.Lower (fun () -> Ir.Lower.program ast) with
+  | Error ds -> ds
+  | Ok prog -> (
+    match Ir.Check.diags prog with
+    | _ :: _ as structural -> structural
+    | [] -> (
+      match
+        catching Ir.Diag.Profile (fun () ->
+            Placement.Pipeline.run prog ~inputs:[ case_input ])
+      with
+      | Error ds -> ds
+      | Ok p -> (
+        let pipe =
+          Placement.Validate.pipeline ~level:Placement.Validate.Full p
+        in
+        match Ir.Diag.errors pipe with
+        | _ :: _ -> pipe
+        | [] -> (
+          (* Inline expansion must not change observable behavior. *)
+          let semantics =
+            match
+              catching Ir.Diag.Structure (fun () ->
+                  let obs prog =
+                    let r = Vm.Interp.run ~fuel prog case_input in
+                    (r.Vm.Interp.return_value, Vm.Io.output r.Vm.Interp.io 0)
+                  in
+                  (obs p.Placement.Pipeline.original,
+                   obs p.Placement.Pipeline.program))
+            with
+            | Error ds -> ds
+            | Ok ((r0, o0), (r1, o1)) ->
+              if r0 = r1 && o0 = o1 then []
+              else
+                [
+                  Ir.Diag.make ~stage:Ir.Diag.Structure
+                    "inline expansion changed semantics: return %d, %d \
+                     output bytes vs return %d, %d output bytes"
+                    r0 (String.length o0) r1 (String.length o1);
+                ]
+          in
+          match semantics with
+          | _ :: _ -> semantics
+          | [] -> (
+            (* Per-strategy maps; in the fuzzer a raising strategy is a
+               hard failure, not a degradation. *)
+            let maps, strategy_diags =
+              List.fold_left
+                (fun (maps, diags) (s : Placement.Strategy.t) ->
+                  match
+                    catching Ir.Diag.Strategy (fun () ->
+                        Placement.Pipeline.map_for p s)
+                  with
+                  | Ok m -> ((s, m) :: maps, diags)
+                  | Error ds ->
+                    ( maps,
+                      diags
+                      @ List.map
+                          (fun d ->
+                            { d with
+                              Ir.Diag.strategy =
+                                Some s.Placement.Strategy.id })
+                          ds ))
+                ([], []) strategies
+            in
+            let maps = List.rev maps in
+            let weights fid =
+              Placement.Weight.cfg_of_profile p.Placement.Pipeline.profile
+                fid
+            in
+            let map_diags =
+              List.concat_map
+                (fun (s, m) ->
+                  Placement.Validate.map ~strategy:s
+                    ~program:p.Placement.Pipeline.program ~weights m)
+                maps
+            in
+            match strategy_diags @ map_diags with
+            | _ :: _ as ds -> ds
+            | [] -> (
+              match
+                catching Ir.Diag.Simulation (fun () ->
+                    Sim.Trace_gen.record ~fuel p.Placement.Pipeline.program
+                      case_input)
+              with
+              | Error ds -> ds
+              | Ok trace ->
+                let reference =
+                  Sim.Trace_gen.dyn_insns p.Placement.Pipeline.natural trace
+                in
+                List.concat_map
+                  (fun ((s : Placement.Strategy.t), m) ->
+                    let id = s.Placement.Strategy.id in
+                    let n = Sim.Trace_gen.dyn_insns m trace in
+                    if n <> reference then
+                      [
+                        Ir.Diag.make ~stage:Ir.Diag.Simulation ~strategy:id
+                          "layout changed the dynamic instruction count: \
+                           %d vs %d under the natural layout"
+                          n reference;
+                      ]
+                    else
+                      match
+                        catching Ir.Diag.Simulation (fun () ->
+                            Sim.Driver.simulate sim_config m trace)
+                      with
+                      | Error ds ->
+                        List.map
+                          (fun d -> { d with Ir.Diag.strategy = Some id })
+                          ds
+                      | Ok r ->
+                        if r.Sim.Driver.accesses = n then []
+                        else
+                          [
+                            Ir.Diag.make ~stage:Ir.Diag.Simulation
+                              ~strategy:id
+                              "simulation accessed %d instructions but \
+                               the trace holds %d"
+                              r.Sim.Driver.accesses n;
+                          ])
+                  maps))))))
+
+let first_error ds = match Ir.Diag.errors ds with d :: _ -> Some d | [] -> None
+
+(* Fuzz one seed; [Some failure] if any invariant broke. *)
+let run_seed ?(size = 120) ?strategies seed : failure option =
+  let ast = Ir.Gen.generate ~size seed in
+  let diags = check_program ?strategies ast in
+  match first_error diags with
+  | None -> None
+  | Some d0 ->
+    (* Shrink while the first violation stays in the original stage, so
+       the reduction cannot wander into an unrelated failure class. *)
+    let still_fails p =
+      match first_error (check_program ?strategies p) with
+      | Some d -> d.Ir.Diag.stage = d0.Ir.Diag.stage
+      | None -> false
+    in
+    let shrunk, shrink_steps = Ir.Gen.shrink ast ~still_fails in
+    Some
+      {
+        seed;
+        size;
+        diags;
+        shrunk;
+        shrunk_diags = check_program ?strategies shrunk;
+        shrink_steps;
+      }
+
+(* Human-readable reproducer: the seed regenerates the program
+   deterministically; the lowered IR of the shrunk case is printed when
+   it still lowers (a Lower-stage failure has only the AST shape). *)
+let report_failure ppf (f : failure) =
+  Fmt.pf ppf "FAIL seed %d (size %d): %d violation(s)@." f.seed f.size
+    (List.length (Ir.Diag.errors f.diags));
+  List.iter (fun d -> Fmt.pf ppf "  %a@." Ir.Diag.pp d) f.diags;
+  Fmt.pf ppf "minimal reproducer (%d shrink steps, %d function(s)):@."
+    f.shrink_steps
+    (List.length f.shrunk.Ir.Ast.funcs);
+  List.iter (fun d -> Fmt.pf ppf "  %a@." Ir.Diag.pp d) f.shrunk_diags;
+  (match catching Ir.Diag.Lower (fun () -> Ir.Lower.program f.shrunk) with
+  | Ok prog -> Fmt.pf ppf "%a@." Ir.Pp.program prog
+  | Error _ ->
+    Fmt.pf ppf "  (does not lower; regenerate the AST with seed %d)@."
+      f.seed);
+  Fmt.pf ppf "reproduce with: fuzz --seed %d --count 1 --size %d@." f.seed
+    f.size
+
+(* Fuzz [count] consecutive seeds starting at [first_seed], reporting
+   progress through [log]. *)
+let run ?(size = 120) ?strategies ?(log = ignore) ~first_seed ~count () :
+    failure list =
+  let failures = ref [] in
+  for k = 0 to count - 1 do
+    let seed = first_seed + k in
+    (match run_seed ~size ?strategies seed with
+    | None -> ()
+    | Some f ->
+      log (Fmt.str "%a" report_failure f);
+      failures := f :: !failures);
+    if (k + 1) mod 50 = 0 || k = count - 1 then
+      log
+        (Fmt.str "checked %d/%d programs (seeds %d..%d), %d failure(s)"
+           (k + 1) count first_seed (first_seed + k)
+           (List.length !failures))
+  done;
+  List.rev !failures

@@ -1,0 +1,41 @@
+(** Differential layout fuzzer: seeded random programs are pushed
+    through lowering, the full placement pipeline, every registered
+    layout strategy and a cache simulation, checking all pipeline
+    invariants plus cross-strategy layout invariance.  Failures are
+    shrunk to a minimal reproducer (the shrink predicate keeps the
+    first violation in its original stage) and carry the generating
+    seed. *)
+
+type failure = {
+  seed : int;
+  size : int;
+  diags : Ir.Diag.t list;  (** violations of the generated program *)
+  shrunk : Ir.Ast.program;  (** minimal reproducer *)
+  shrunk_diags : Ir.Diag.t list;  (** violations it still exhibits *)
+  shrink_steps : int;
+}
+
+val check_program :
+  ?strategies:Placement.Strategy.t list -> Ir.Ast.program -> Ir.Diag.t list
+(** All violations exhibited by one program ([] = everything holds).
+    [strategies] defaults to the full registry; tests inject broken
+    strategies here. *)
+
+val run_seed :
+  ?size:int -> ?strategies:Placement.Strategy.t list -> int ->
+  failure option
+(** Generate, check, and on failure shrink one seeded program. *)
+
+val report_failure : failure Fmt.t
+(** Violations, shrunk reproducer (lowered IR when it lowers), and the
+    command line that replays the seed. *)
+
+val run :
+  ?size:int ->
+  ?strategies:Placement.Strategy.t list ->
+  ?log:(string -> unit) ->
+  first_seed:int ->
+  count:int ->
+  unit ->
+  failure list
+(** Fuzz [count] consecutive seeds, logging progress and failures. *)

@@ -40,7 +40,31 @@ let find id =
   | Some s -> s
   | None -> raise (Unknown_experiment id)
 
-let run_one ctx spec = Report.Table.render (spec.table ctx)
+(* Render one table, followed by any degradation warnings the entries
+   recorded while building it (e.g. a strategy that raised and fell
+   back to the natural layout).  Only warnings new to this table are
+   printed, so a sweep over several tables reports each once. *)
+let run_one ctx spec =
+  let counts () =
+    List.map
+      (fun e -> List.length (Context.warnings e))
+      (Context.entries ctx)
+  in
+  let before = counts () in
+  let body = Report.Table.render (spec.table ctx) in
+  let fresh =
+    List.concat
+      (List.map2
+         (fun e n -> List.filteri (fun i _ -> i >= n) (Context.warnings e))
+         (Context.entries ctx) before)
+  in
+  match fresh with
+  | [] -> body
+  | ws ->
+    body ^ "\n"
+    ^ String.concat "\n"
+        (List.map (fun d -> "warning: " ^ Ir.Diag.to_string d) ws)
+    ^ "\n"
 
 let run_all ctx =
   String.concat "\n" (List.map (fun spec -> run_one ctx spec) all)

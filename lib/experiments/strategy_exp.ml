@@ -14,21 +14,28 @@ type row = {
 
 let config = Icache.Config.make ~size:2048 ~block:64 ()
 
-let compute ctx =
+(* [strategies] is injectable so tests can drive the degradation path
+   with a deliberately broken strategy.  A strategy that raised inside
+   [Context.strategy_map] yields its natural-layout fallback numbers,
+   with the substitution marked in the strategy column. *)
+let compute ?(strategies = Placement.Strategy.all) ctx =
   List.concat_map
     (fun e ->
       let trace = Context.trace e in
       List.map
-        (fun s ->
+        (fun (s : Placement.Strategy.t) ->
           let map = Context.strategy_map e s in
           let r = Context.simulate e config map trace in
+          let id = s.Placement.Strategy.id in
           {
             bench = Context.name e;
-            strategy = s.Placement.Strategy.id;
+            strategy =
+              (if Context.fell_back e id then id ^ " (fallback: natural)"
+               else id);
             miss = r.Sim.Driver.miss_ratio;
             traffic = r.Sim.Driver.traffic_ratio;
           })
-        Placement.Strategy.all)
+        strategies)
     (Context.entries ctx)
 
 let table ctx =

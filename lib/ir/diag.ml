@@ -1,0 +1,107 @@
+(* Structured diagnostics for the placement pipeline.
+
+   Every stage of the pipeline (lowering, structural checking, profiling,
+   trace selection, layout, address assignment, simulation) reports
+   violations as a [Diag.t] instead of a bare [failwith]: the record
+   carries the stage, severity and enough context — function name, block
+   label, layout-strategy id — for a fuzzer reproducer or a CI log to
+   name the offending node without re-running under a debugger.
+
+   Fatal violations travel as the [Fail] exception; validators that scan
+   for every violation return [t list] instead and let the caller decide.
+   Each stage owns a deterministic process exit code (see {!exit_code})
+   so scripted callers can triage failures without parsing messages. *)
+
+type severity = Warning | Error
+
+type stage =
+  | Lower (* AST -> CFG translation *)
+  | Structure (* well-formedness of a lowered program *)
+  | Profile (* flow conservation of recorded weights *)
+  | Trace_selection
+  | Layout (* per-function block ordering *)
+  | Address_map (* address assignment invariants *)
+  | Simulation
+  | Strategy (* a layout strategy misbehaved or fell back *)
+  | Usage (* bad CLI input, unknown entities *)
+
+type t = {
+  severity : severity;
+  stage : stage;
+  func : string option; (* offending function, when known *)
+  block : int option; (* offending block label, when known *)
+  strategy : string option; (* layout-strategy id, when relevant *)
+  message : string;
+}
+
+exception Fail of t
+
+let stage_name = function
+  | Lower -> "lower"
+  | Structure -> "structure"
+  | Profile -> "profile"
+  | Trace_selection -> "trace-selection"
+  | Layout -> "layout"
+  | Address_map -> "address-map"
+  | Simulation -> "simulation"
+  | Strategy -> "strategy"
+  | Usage -> "usage"
+
+let severity_name = function Warning -> "warning" | Error -> "error"
+
+(* Deterministic per-stage exit codes, documented in the README.  0 is
+   success and 1 the generic uncategorized failure; 2 is reserved for
+   usage errors, the pipeline stages own 10..17. *)
+let exit_code t =
+  match t.stage with
+  | Usage -> 2
+  | Lower -> 10
+  | Structure -> 11
+  | Profile -> 12
+  | Trace_selection -> 13
+  | Layout -> 14
+  | Address_map -> 15
+  | Simulation -> 16
+  | Strategy -> 17
+
+let make ?(severity = Error) ~stage ?func ?block ?strategy fmt =
+  Fmt.kstr
+    (fun message -> { severity; stage; func; block; strategy; message })
+    fmt
+
+let error ~stage ?func ?block ?strategy fmt =
+  Fmt.kstr
+    (fun message ->
+      raise
+        (Fail { severity = Error; stage; func; block; strategy; message }))
+    fmt
+
+let context t =
+  match (t.func, t.block, t.strategy) with
+  | None, None, None -> ""
+  | func, block, strategy ->
+    let f = Option.value ~default:"" func in
+    let b = match block with Some l -> Printf.sprintf ".b%d" l | None -> "" in
+    let s =
+      match strategy with Some id -> Printf.sprintf " <%s>" id | None -> ""
+    in
+    Printf.sprintf " %s%s%s:" f b s
+
+let to_string t =
+  Printf.sprintf "[%s %s]%s %s" (severity_name t.severity)
+    (stage_name t.stage) (context t) t.message
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+let is_error t = t.severity = Error
+
+let errors diags = List.filter is_error diags
+
+(* Raise the first error of [diags] as [Fail], if any. *)
+let raise_first diags =
+  match errors diags with [] -> () | d :: _ -> raise (Fail d)
+
+let () =
+  Printexc.register_printer (function
+    | Fail t -> Some ("Diag.Fail: " ^ to_string t)
+    | _ -> None)

@@ -1,0 +1,64 @@
+(** Structured diagnostics: every pipeline stage reports violations as a
+    [t] carrying stage, severity and context (function, block, strategy)
+    instead of a bare [failwith], so fuzzer reproducers and CI logs can
+    name the offending node.  Fatal violations travel as {!Fail}. *)
+
+type severity = Warning | Error
+
+type stage =
+  | Lower
+  | Structure
+  | Profile
+  | Trace_selection
+  | Layout
+  | Address_map
+  | Simulation
+  | Strategy
+  | Usage
+
+type t = {
+  severity : severity;
+  stage : stage;
+  func : string option;
+  block : int option;
+  strategy : string option;
+  message : string;
+}
+
+exception Fail of t
+
+val stage_name : stage -> string
+val severity_name : severity -> string
+
+val exit_code : t -> int
+(** Deterministic per-stage process exit code: usage errors exit 2, the
+    pipeline stages own 10..17 (lower=10, structure=11, profile=12,
+    trace-selection=13, layout=14, address-map=15, simulation=16,
+    strategy=17). *)
+
+val make :
+  ?severity:severity ->
+  stage:stage ->
+  ?func:string ->
+  ?block:int ->
+  ?strategy:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+(** Build a diagnostic from a format string. *)
+
+val error :
+  stage:stage ->
+  ?func:string ->
+  ?block:int ->
+  ?strategy:string ->
+  ('a, Format.formatter, unit, 'b) format4 ->
+  'a
+(** Build an [Error] diagnostic and raise it as {!Fail}. *)
+
+val to_string : t -> string
+val pp : t Fmt.t
+val is_error : t -> bool
+val errors : t list -> t list
+
+val raise_first : t list -> unit
+(** Raise the first error of the list as {!Fail}, if any. *)

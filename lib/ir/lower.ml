@@ -13,9 +13,10 @@
    written before use on every path that reads it, so no phi nodes are
    needed. *)
 
-exception Lower_error of string
-
-let fail fmt = Fmt.kstr (fun s -> raise (Lower_error s)) fmt
+(* All failures raise [Diag.Fail] with [stage = Lower]; in-function
+   failures carry the function name and, where meaningful, the basic
+   block under construction, so fuzzer reproducers name the node. *)
+let fail fmt = Diag.error ~stage:Diag.Lower fmt
 
 type bblock = {
   mutable rev_insns : Insn.t list;
@@ -57,12 +58,17 @@ let emit ctx insn =
   let b = block ctx ctx.cur in
   b.rev_insns <- insn :: b.rev_insns
 
+(* Failure inside a function body: name the function and the block under
+   construction. *)
+let fail_in ctx fmt =
+  Diag.error ~stage:Diag.Lower ~func:ctx.fname ~block:ctx.cur fmt
+
 let terminate ctx term =
   if not ctx.dead then begin
     let b = block ctx ctx.cur in
     (match b.bterm with
     | None -> b.bterm <- Some term
-    | Some _ -> fail "%s: block %d terminated twice" ctx.fname ctx.cur);
+    | Some _ -> fail_in ctx "block terminated twice");
     ctx.dead <- true
   end
 
@@ -71,7 +77,7 @@ let push_scope ctx = ctx.scopes <- Hashtbl.create 8 :: ctx.scopes
 let pop_scope ctx =
   match ctx.scopes with
   | _ :: rest -> ctx.scopes <- rest
-  | [] -> fail "%s: scope underflow" ctx.fname
+  | [] -> fail_in ctx "scope underflow"
 
 let declare ctx name =
   match ctx.scopes with
@@ -79,11 +85,11 @@ let declare ctx name =
     let r = fresh_reg ctx in
     Hashtbl.replace scope name r;
     r
-  | [] -> fail "%s: no scope for %s" ctx.fname name
+  | [] -> fail_in ctx "no scope for %s" name
 
 let lookup ctx name =
   let rec find = function
-    | [] -> fail "%s: unbound variable %s" ctx.fname name
+    | [] -> fail_in ctx "unbound variable %s" name
     | scope :: rest -> (
       match Hashtbl.find_opt scope name with
       | Some r -> r
@@ -94,7 +100,7 @@ let lookup ctx name =
 let global_addr ctx name =
   match Hashtbl.find_opt ctx.globals name with
   | Some a -> a
-  | None -> fail "%s: unknown global %s" ctx.fname name
+  | None -> fail_in ctx "unknown global %s" name
 
 let rec compile_expr ctx (e : Ast.expr) : Insn.operand =
   match e with
@@ -303,16 +309,16 @@ let rec compile_stmt ctx (s : Ast.stmt) =
       terminate ctx (Jump l_end));
     (match ctx.break_targets with
     | _ :: rest -> ctx.break_targets <- rest
-    | [] -> assert false);
+    | [] -> fail_in ctx "break-target underflow after switch");
     start ctx l_end
   | Break -> (
     match ctx.break_targets with
     | l :: _ -> terminate ctx (Jump l)
-    | [] -> fail "%s: break outside loop/switch" ctx.fname)
+    | [] -> fail_in ctx "break outside loop/switch")
   | Continue -> (
     match ctx.continue_targets with
     | l :: _ -> terminate ctx (Jump l)
-    | [] -> fail "%s: continue outside loop" ctx.fname)
+    | [] -> fail_in ctx "continue outside loop")
   | Return None -> terminate ctx (Ret None)
   | Return (Some e) ->
     let o = compile_expr ctx e in
@@ -334,10 +340,10 @@ and in_loop ctx ~break_to ~continue_to f =
   f ();
   (match ctx.break_targets with
   | _ :: rest -> ctx.break_targets <- rest
-  | [] -> assert false);
+  | [] -> fail_in ctx "break-target underflow after loop");
   match ctx.continue_targets with
   | _ :: rest -> ctx.continue_targets <- rest
-  | [] -> assert false
+  | [] -> fail_in ctx "continue-target underflow after loop"
 
 and compile_body ?(scoped = true) ctx stmts =
   if scoped then push_scope ctx;

@@ -8,16 +8,15 @@
       unreachable blocks, like dead code in a binary — these are exactly
       the zero-weight blocks the layout algorithm pushes to the bottom. *)
 
-exception Lower_error of string
-
 val globals_base : int
 (** First address of the static data segment (addresses below it are
     unmapped, so 0 acts as a null pointer). *)
 
 val program : Ast.program -> Prog.program
-(** Lower a whole program.  Raises {!Lower_error} on unbound variables,
-    unknown globals, or malformed control flow; raises
-    [Prog.Unknown_function] if the entry point is missing. *)
+(** Lower a whole program.  Raises {!Diag.Fail} (stage [Lower], carrying
+    the offending function and block) on unbound variables, unknown
+    globals, or malformed control flow; raises [Prog.Unknown_function]
+    if the entry point is missing. *)
 
 val program_with_globals :
   Ast.program -> Prog.program * (string, int) Hashtbl.t

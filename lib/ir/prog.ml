@@ -30,7 +30,8 @@ let make ?(data = []) ?(heap_base = 0) ~entry funcs =
   Array.iteri
     (fun i f ->
       if Hashtbl.mem by_name f.name then
-        invalid_arg ("Prog.make: duplicate function " ^ f.name);
+        Diag.error ~stage:Diag.Structure ~func:f.name
+          "duplicate function name (index %d)" i;
       Hashtbl.add by_name f.name i)
     funcs;
   let entry =

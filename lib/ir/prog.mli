@@ -23,8 +23,9 @@ val make :
   entry:string ->
   func list ->
   program
-(** Build a program.  Raises [Invalid_argument] on duplicate function
-    names and {!Unknown_function} if [entry] is absent. *)
+(** Build a program.  Raises {!Diag.Fail} (stage [Structure]) on
+    duplicate function names and {!Unknown_function} if [entry] is
+    absent. *)
 
 val func_index : program -> string -> int
 (** Raises {!Unknown_function}. *)

@@ -93,7 +93,11 @@ let simulate ?(timing_model = Icache.Timing.default_model)
       ( Icache.Timing.effective_access_time b,
         Icache.Timing.effective_access_time s,
         Icache.Timing.effective_access_time p )
-    | _ -> assert false
+    | ts ->
+      Ir.Diag.error ~stage:Ir.Diag.Simulation
+        "expected the 3 refill-policy timers (blocking, streaming, \
+         partial), found %d"
+        (List.length ts)
   in
   let eat_blocking, eat_streaming, eat_streaming_partial = eat timers in
   {
@@ -168,7 +172,11 @@ let result_of st =
       ( Icache.Timing.effective_access_time b,
         Icache.Timing.effective_access_time s,
         Icache.Timing.effective_access_time p )
-    | _ -> assert false
+    | ts ->
+      Ir.Diag.error ~stage:Ir.Diag.Simulation
+        "expected the 3 refill-policy timers (blocking, streaming, \
+         partial), found %d"
+        (List.length ts)
   in
   let eat_blocking, eat_streaming, eat_streaming_partial = eat st.timers in
   {

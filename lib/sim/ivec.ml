@@ -27,7 +27,9 @@ let push t x =
   t.len <- t.len + 1
 
 let get t idx =
-  if idx < 0 || idx >= t.len then invalid_arg "Ivec.get";
+  if idx < 0 || idx >= t.len then
+    invalid_arg
+      (Printf.sprintf "Ivec.get: index %d outside [0,%d)" idx t.len);
   Bigarray.Array1.unsafe_get t.data idx
 
 let unsafe_get t idx = Bigarray.Array1.unsafe_get t.data idx
@@ -44,8 +46,16 @@ let iteri f t =
 
 let blit ~src ~src_pos ~dst ~dst_pos ~len =
   if len < 0 || src_pos < 0 || src_pos + len > src.len then
-    invalid_arg "Ivec.blit";
-  if dst_pos < 0 || dst_pos > dst.len then invalid_arg "Ivec.blit";
+    invalid_arg
+      (Printf.sprintf
+         "Ivec.blit: source range [%d,%d) outside source length %d" src_pos
+         (src_pos + len) src.len);
+  if dst_pos < 0 || dst_pos > dst.len then
+    invalid_arg
+      (Printf.sprintf
+         "Ivec.blit: destination position %d outside [0,%d] (may append at \
+          the end only)"
+         dst_pos dst.len);
   (* Extend [dst] as needed (blitting at or past the end appends). *)
   let needed = dst_pos + len in
   if needed > Bigarray.Array1.dim dst.data then begin

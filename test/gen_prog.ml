@@ -1,149 +1,9 @@
-(* Random mini-C program generator for differential testing.
+(* Test-side wrapper around the shared program generator [Ir.Gen]
+   (promoted out of this file so the layout fuzzer can use it too),
+   plus the observation helpers the differential tests need — these run
+   the VM, which [ir] cannot depend on. *)
 
-   Programs terminate by construction: the only loops are counted for
-   loops with small immediate bounds, and helper functions may call only
-   lower-numbered helpers (no recursion).  All memory accesses are masked
-   into a scratch buffer, so generated programs never fault.  Every
-   program writes observable output (putc of expression values), making
-   semantic divergence after a transformation visible. *)
-
-open Ir.Ast.Dsl
-
-type ctx = {
-  rng : Workloads.Rng.t;
-  mutable fuel : int; (* bounds the generated program size *)
-  nhelpers : int;
-  helper_idx : int; (* helpers may call only helpers below this index *)
-  in_loop : bool;
-}
-
-let vars = [| "a"; "b"; "c"; "d" |]
-
-let take ctx = ctx.fuel <- ctx.fuel - 1
-
-let rec gen_expr ctx depth =
-  take ctx;
-  if depth = 0 || ctx.fuel <= 0 then
-    if Workloads.Rng.bool ctx.rng then i (Workloads.Rng.range ctx.rng (-20) 20)
-    else v (Workloads.Rng.pick ctx.rng vars)
-  else begin
-    match Workloads.Rng.int ctx.rng 14 with
-    | 0 | 1 | 2 ->
-      let op =
-        Workloads.Rng.pick ctx.rng [| ( +% ); ( -% ); ( *% ); ( &% ); ( |% ); ( ^% ) |]
-      in
-      op (gen_expr ctx (depth - 1)) (gen_expr ctx (depth - 1))
-    | 3 ->
-      (* division by a guaranteed nonzero quantity *)
-      gen_expr ctx (depth - 1)
-      /% ((gen_expr ctx (depth - 1) &% i 15) +% i 1)
-    | 4 ->
-      gen_expr ctx (depth - 1)
-      %% ((gen_expr ctx (depth - 1) &% i 15) +% i 1)
-    | 5 ->
-      let cmp =
-        Workloads.Rng.pick ctx.rng
-          [| ( <% ); ( <=% ); ( >% ); ( >=% ); ( ==% ); ( <>% ) |]
-      in
-      cmp (gen_expr ctx (depth - 1)) (gen_expr ctx (depth - 1))
-    | 6 -> gen_expr ctx (depth - 1) &&% gen_expr ctx (depth - 1)
-    | 7 -> gen_expr ctx (depth - 1) ||% gen_expr ctx (depth - 1)
-    | 8 ->
-      Ir.Ast.Cond
-        (gen_expr ctx (depth - 1), gen_expr ctx (depth - 1), gen_expr ctx (depth - 1))
-    | 9 -> not_ (gen_expr ctx (depth - 1))
-    | 10 -> neg (gen_expr ctx (depth - 1))
-    | 11 ->
-      (* masked scratch-buffer load: always in range *)
-      ld8 (g "scratch" +% (gen_expr ctx (depth - 1) &% i 63))
-    | 12 when ctx.helper_idx > 0 ->
-      let callee = Workloads.Rng.int ctx.rng ctx.helper_idx in
-      call
-        (Printf.sprintf "helper%d" callee)
-        [ gen_expr ctx (depth - 1); gen_expr ctx (depth - 1) ]
-    | _ ->
-      (gen_expr ctx (depth - 1) <<% i (Workloads.Rng.int ctx.rng 4))
-      >>% i (Workloads.Rng.int ctx.rng 4)
-  end
-
-let rec gen_stmt ctx depth =
-  take ctx;
-  if depth = 0 || ctx.fuel <= 0 then
-    set (Workloads.Rng.pick ctx.rng vars) (gen_expr ctx 1)
-  else begin
-    match Workloads.Rng.int ctx.rng 12 with
-    | 0 | 1 | 2 ->
-      set (Workloads.Rng.pick ctx.rng vars) (gen_expr ctx 2)
-    | 3 ->
-      if_ (gen_expr ctx 2)
-        (gen_body ctx (depth - 1))
-        (gen_body ctx (depth - 1))
-    | 4 -> when_ (gen_expr ctx 2) (gen_body ctx (depth - 1))
-    | 5 ->
-      (* bounded counted loop; the index variable is loop-local *)
-      let n = Workloads.Rng.range ctx.rng 1 6 in
-      let idx = Printf.sprintf "k%d" (Workloads.Rng.int ctx.rng 1000) in
-      for_
-        [ decl idx (i 0) ]
-        (v idx <% i n)
-        [ incr_ idx ]
-        (gen_body { ctx with in_loop = true } (depth - 1))
-    | 6 when ctx.in_loop && Workloads.Rng.bool ctx.rng ->
-      when_ (gen_expr ctx 1) [ break_ ]
-    | 7 when ctx.in_loop && Workloads.Rng.bool ctx.rng ->
-      when_ (gen_expr ctx 1) [ continue_ ]
-    | 8 ->
-      switch (gen_expr ctx 2 &% i 3)
-        [
-          ([ 0 ], gen_body ctx (depth - 1) @ [ break_ ]);
-          ([ 1; 2 ], gen_body ctx (depth - 1)); (* falls through *)
-        ]
-        (gen_body ctx (depth - 1))
-    | 9 ->
-      st8
-        (g "scratch" +% (gen_expr ctx 1 &% i 63))
-        (gen_expr ctx 2)
-    | 10 -> putc (i 0) (gen_expr ctx 2 &% i 255)
-    | _ ->
-      set (Workloads.Rng.pick ctx.rng vars)
-        (gen_expr ctx 2)
-  end
-
-and gen_body ctx depth =
-  let n = Workloads.Rng.range ctx.rng 1 4 in
-  List.init n (fun _ -> gen_stmt ctx depth)
-
-let gen_helper ctx idx =
-  let body =
-    [ decl "a" (v "p0" +% i 1); decl "b" (v "p1"); decl "c" (i 0); decl "d" (i 3) ]
-    @ gen_body { ctx with helper_idx = idx } 2
-    @ [ ret ((v "a" ^% v "b") +% (v "c" -% v "d")) ]
-  in
-  func (Printf.sprintf "helper%d" idx) [ "p0"; "p1" ] body
-
-(* Generate a whole program from a seed.  [size] scales the fuel. *)
-let generate ?(size = 120) seed : Ir.Ast.program =
-  let rng = Workloads.Rng.create seed in
-  let nhelpers = Workloads.Rng.int rng 4 in
-  let ctx = { rng; fuel = size; nhelpers; helper_idx = 0; in_loop = false } in
-  let helpers = List.init nhelpers (fun idx -> gen_helper ctx idx) in
-  let main_body =
-    [ decl "a" (i 1); decl "b" (i 2); decl "c" (i 3); decl "d" (i 4) ]
-    @ gen_body { ctx with fuel = size; helper_idx = nhelpers } 3
-    @ [
-        (* make all variable state observable *)
-        putc (i 0) (v "a" &% i 255);
-        putc (i 0) (v "b" &% i 255);
-        putc (i 0) (v "c" &% i 255);
-        putc (i 0) (v "d" &% i 255);
-        ret ((v "a" +% v "b") ^% (v "c" *% v "d"));
-      ]
-  in
-  {
-    Ir.Ast.globals = [ ("scratch", Ir.Ast.Gzero 64) ];
-    funcs = helpers @ [ func "main" [] main_body ];
-    entry = "main";
-  }
+let generate = Ir.Gen.generate
 
 (* Observable behavior of a program on the empty input. *)
 let observe prog =

@@ -17,6 +17,7 @@ let () =
       ("paging", Test_paging.suite);
       ("pipeline", Test_pipeline.suite);
       ("experiments", Test_experiments.suite);
+      ("validate", Test_validate.suite);
       ("differential", Test_differential.suite);
       ("fast_sim", Test_fast_sim.suite);
       ("shapes", Test_shapes.suite);

@@ -169,9 +169,15 @@ let scoping () =
       when_ (i 1) [ decl "x" (i 9); set "x" (v "x" +% i 1) ];
       ret (v "x");
     ];
-  (* Unbound variables are a lowering error. *)
-  Alcotest.check_raises "unbound" (Ir.Lower.Lower_error "main: unbound variable y")
-    (fun () -> ignore (Ir.Lower.program (main_prog [ ret (v "y") ])))
+  (* Unbound variables are a structured lowering diagnostic carrying the
+     function and block of the offending expression. *)
+  match Ir.Lower.program (main_prog [ ret (v "y") ]) with
+  | _ -> Alcotest.fail "unbound variable lowered without a diagnostic"
+  | exception Ir.Diag.Fail d ->
+    Alcotest.(check string) "stage" "lower" (Ir.Diag.stage_name d.Ir.Diag.stage);
+    Alcotest.(check (option string)) "function" (Some "main") d.Ir.Diag.func;
+    Alcotest.(check bool) "has block context" true (d.Ir.Diag.block <> None);
+    Alcotest.(check string) "message" "unbound variable y" d.Ir.Diag.message
 
 let structure () =
   let p = Ir.Lower.program caller_prog in
@@ -213,6 +219,35 @@ let code_scaling () =
       Alcotest.(check bool) "block size >= 1" true (Ir.Cfg.instr_count b >= 1))
     (Ir.Prog.scale_code 0.01 p)
 
+(* Every lowering failure must be a structured [Diag.Fail] with stage
+   [lower] and the function context, never a bare exception. *)
+let lowering_diagnostics () =
+  let expect_lower name body =
+    match Ir.Lower.program (main_prog body) with
+    | _ -> Alcotest.failf "%s: lowered without a diagnostic" name
+    | exception Ir.Diag.Fail d ->
+      Alcotest.(check string) (name ^ " stage") "lower"
+        (Ir.Diag.stage_name d.Ir.Diag.stage);
+      Alcotest.(check (option string))
+        (name ^ " function") (Some "main") d.Ir.Diag.func
+  in
+  expect_lower "break outside loop" [ break_; ret (i 0) ];
+  expect_lower "continue outside loop" [ continue_; ret (i 0) ];
+  expect_lower "unknown global" [ ret (ld32 (g "nope")) ];
+  (* Duplicate globals are caught before any function body lowers. *)
+  match
+    Ir.Lower.program
+      {
+        Ir.Ast.globals = [ ("twice", Ir.Ast.Gzero 4); ("twice", Ir.Ast.Gzero 4) ];
+        funcs = [ func "main" [] [ ret (i 0) ] ];
+        entry = "main";
+      }
+  with
+  | _ -> Alcotest.fail "duplicate global lowered without a diagnostic"
+  | exception Ir.Diag.Fail d ->
+    Alcotest.(check string) "duplicate global stage" "lower"
+      (Ir.Diag.stage_name d.Ir.Diag.stage)
+
 let suite =
   [
     Alcotest.test_case "arithmetic" `Quick arithmetic;
@@ -223,6 +258,7 @@ let suite =
     Alcotest.test_case "calls and recursion" `Quick calls_and_recursion;
     Alcotest.test_case "globals and memory" `Quick globals_and_memory;
     Alcotest.test_case "scoping" `Quick scoping;
+    Alcotest.test_case "lowering diagnostics" `Quick lowering_diagnostics;
     Alcotest.test_case "structure and dead code" `Quick structure;
     Alcotest.test_case "prologue size model" `Quick prologue_size_model;
     Alcotest.test_case "code scaling" `Quick code_scaling;
