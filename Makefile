@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make ci` on every PR.
 
-.PHONY: all build test bench bench-smoke strategy-smoke fuzz-smoke validate-smoke ci clean
+.PHONY: all build test bench bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke ci clean
 
 all: build
 
@@ -16,8 +16,10 @@ bench:
 
 # Fast end-to-end exercise of the block-granular simulation engine:
 # one table, one benchmark, plus the reference-vs-fast engine comparison.
+# `--out ""` keeps the smoke run from clobbering the committed full-run
+# report (BENCH_pr4.json).
 bench-smoke:
-	dune exec bench/main.exe -- --only t6 --benchmarks wc
+	dune exec bench/main.exe -- --only t6 --benchmarks wc --out ""
 
 # Smoke the layout-strategy registry: the listing must enumerate it and
 # the comparison experiment must run every registered strategy end to end.
@@ -36,7 +38,18 @@ fuzz-smoke:
 validate-smoke:
 	dune exec bin/main.exe -- table strategy-comparison -b cmp --validate=full
 
-ci: build test bench-smoke strategy-smoke fuzz-smoke validate-smoke
+# Telemetry end to end: one table run emitting all three machine-readable
+# outputs (Chrome trace, metrics dump, row JSON), each of which must
+# exist and parse.
+obs-smoke:
+	rm -rf _obs && mkdir -p _obs
+	dune exec bin/main.exe -- table comparison -b cmp \
+	  --trace-out=_obs/trace.json --metrics-out=_obs/metrics.txt \
+	  --json=_obs/rows.json
+	test -s _obs/metrics.txt
+	dune exec bin/checkjson.exe -- _obs/trace.json _obs/rows.json
+
+ci: build test bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke
 
 clean:
 	dune clean

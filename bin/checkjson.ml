@@ -1,0 +1,24 @@
+(* checkjson — CI helper: verify that each FILE argument parses as JSON
+   with the in-tree parser ([Obs.Json]).  Exit 0 when every file parses,
+   1 on the first malformed file, 2 on usage errors.  Used by the
+   `obs-smoke' make target to validate `--trace-out' / `--json' output
+   without external tooling. *)
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then (
+    prerr_endline "usage: checkjson FILE...";
+    exit 2);
+  let ok =
+    List.fold_left
+      (fun ok path ->
+        match Obs.Json.of_file path with
+        | Ok _ ->
+          Printf.printf "checkjson: ok %s\n" path;
+          ok
+        | Error msg ->
+          Printf.eprintf "checkjson: %s: %s\n" path msg;
+          false)
+      true files
+  in
+  exit (if ok then 0 else 1)

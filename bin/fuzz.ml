@@ -32,14 +32,27 @@ let quiet_arg =
     & info [ "q"; "quiet" ]
         ~doc:"Suppress progress; print only failures and the summary.")
 
-let run count first_seed size quiet =
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable the metrics registry (seeds checked, failures, shrink \
+           steps) and write its dump to $(docv) ($(b,-) = stderr).")
+
+let run count first_seed size quiet metrics_out =
+  Obs.Log.set_quiet quiet;
+  if metrics_out <> None then Obs.Metrics.set_enabled true;
   Printf.printf
     "fuzzing %d program(s) from seed %d (size %d) over strategies: %s\n%!"
     count first_seed size
     (String.concat " " (Placement.Strategy.ids ()));
   let log msg = if not quiet then Printf.printf "%s\n%!" msg in
   let failures =
-    Experiments.Fuzz.run ~size ~log ~first_seed ~count ()
+    Fun.protect
+      ~finally:(fun () -> Option.iter Obs.Metrics.write metrics_out)
+      (fun () -> Experiments.Fuzz.run ~size ~log ~first_seed ~count ())
   in
   match failures with
   | [] ->
@@ -65,6 +78,8 @@ let cmd =
     (Cmd.info "fuzz"
        ~doc:"Differential fuzzer for the placement pipeline and layout \
              strategies")
-    Term.(const run $ count_arg $ seed_arg $ size_arg $ quiet_arg)
+    Term.(
+      const run $ count_arg $ seed_arg $ size_arg $ quiet_arg
+      $ metrics_out_arg)
 
 let () = exit (Cmd.eval cmd)

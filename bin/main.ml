@@ -10,6 +10,106 @@ let bench_names_arg =
 
 let context_of names = Experiments.Context.create ?names ()
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry flags (table-producing commands)                          *)
+(* ------------------------------------------------------------------ *)
+
+type obs_opts = {
+  trace_out : string option;
+  metrics_out : string option;
+  json_out : string option;
+  quiet : bool;
+}
+
+let obs_term =
+  let trace_out =
+    let doc =
+      "Record stage spans and write them as Chrome trace-event JSON to \
+       $(docv); load the file in chrome://tracing or Perfetto."
+    in
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_out =
+    let doc =
+      "Enable the metrics registry and write its text dump to $(docv) \
+       ($(b,-) writes to stderr)."
+    in
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let json_out =
+    let doc =
+      "Write the regenerated tables (header + rows, exactly as printed, \
+       plus per-table wall times) as machine-readable JSON to $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let quiet =
+    let doc =
+      "Suppress progress and warning chatter; stdout carries the tables \
+       only (errors still reach stderr)."
+    in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  Term.(
+    const (fun trace_out metrics_out json_out quiet ->
+        { trace_out; metrics_out; json_out; quiet })
+    $ trace_out $ metrics_out $ json_out $ quiet)
+
+(* Enable the requested telemetry around [f]; the trace and metrics
+   files are written even when [f] raises (a failing run is exactly when
+   a profile is wanted). *)
+let with_telemetry opts f =
+  Obs.Log.set_quiet opts.quiet;
+  if opts.trace_out <> None then Obs.Span.set_enabled true;
+  if opts.metrics_out <> None then Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter Obs.Span.write_chrome opts.trace_out;
+      Option.iter Obs.Metrics.write opts.metrics_out)
+    f
+
+(* Machine-readable table report: one object per regenerated table with
+   the header and rows exactly as printed, so downstream tooling never
+   re-parses the text rendering. *)
+let outcome_json (o : Experiments.Runner.outcome) =
+  let strings ss = Obs.Json.List (List.map (fun s -> Obs.Json.String s) ss) in
+  Obs.Json.Obj
+    [
+      ("id", Obs.Json.String o.Experiments.Runner.spec.Experiments.Runner.id);
+      ( "title",
+        Obs.Json.String o.Experiments.Runner.spec.Experiments.Runner.title );
+      ( "table_title",
+        Obs.Json.String (Report.Table.title o.Experiments.Runner.table) );
+      ("header", strings (Report.Table.header o.Experiments.Runner.table));
+      ( "rows",
+        Obs.Json.List
+          (List.map
+             (fun row -> strings row)
+             (Report.Table.rows o.Experiments.Runner.table)) );
+      ("wall_seconds", Obs.Json.Float o.Experiments.Runner.wall_seconds);
+      ( "warnings",
+        strings
+          (List.map Ir.Diag.to_string o.Experiments.Runner.fresh_warnings) );
+    ]
+
+let write_json_report path ~names outcomes =
+  Obs.Json.to_file path
+    (Obs.Json.Obj
+       [
+         ("schema", Obs.Json.String "impact.table-run/v1");
+         ( "benchmarks",
+           match names with
+           | None -> Obs.Json.Null
+           | Some ns ->
+             Obs.Json.List (List.map (fun n -> Obs.Json.String n) ns) );
+         ("tables", Obs.Json.List (List.map outcome_json outcomes));
+       ])
+
 (* --validate for table runs: cheap invariant checks by default, [full]
    adds flow conservation and the simulation cross-check, [off] skips.
    Violations go to stderr and the first error decides the exit code
@@ -39,7 +139,12 @@ let run_validation level ctx =
   | None -> ()
   | Some level ->
     let diags = Experiments.Validation.check ~level ctx in
-    List.iter (fun d -> prerr_endline (Ir.Diag.to_string d)) diags;
+    List.iter
+      (fun d ->
+        let line = Ir.Diag.to_string d in
+        if Ir.Diag.is_error d then Obs.Log.error_raw line
+        else Obs.Log.warn_raw line)
+      diags;
     Ir.Diag.raise_first diags
 
 (* impact list *)
@@ -90,26 +195,39 @@ let table_cmd =
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id names validate =
+  let run id names validate obs =
+    with_telemetry obs @@ fun () ->
     let spec = Experiments.Runner.find id in
     let ctx = context_of names in
-    print_string (Experiments.Runner.run_one ctx spec);
+    let o = Experiments.Runner.run_spec ctx spec in
+    print_string (Report.Table.render o.Experiments.Runner.table);
+    Option.iter (fun p -> write_json_report p ~names [ o ]) obs.json_out;
     run_validation validate ctx
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Regenerate one of the paper's tables")
-    Term.(const run $ id_arg $ bench_names_arg $ validate_arg)
+    Term.(const run $ id_arg $ bench_names_arg $ validate_arg $ obs_term)
 
 (* impact all *)
 let all_cmd =
-  let run names validate =
+  let run names validate obs =
+    with_telemetry obs @@ fun () ->
     let ctx = context_of names in
-    print_string (Experiments.Runner.run_all ctx);
+    let outcomes =
+      List.map
+        (fun spec ->
+          let o = Experiments.Runner.run_spec ctx spec in
+          print_string (Report.Table.render o.Experiments.Runner.table);
+          print_newline ();
+          o)
+        Experiments.Runner.all
+    in
+    Option.iter (fun p -> write_json_report p ~names outcomes) obs.json_out;
     run_validation validate ctx
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every table")
-    Term.(const run $ bench_names_arg $ validate_arg)
+    Term.(const run $ bench_names_arg $ validate_arg $ obs_term)
 
 (* impact run BENCH *)
 let run_cmd =
@@ -317,17 +435,18 @@ let main_cmd =
 let () =
   try exit (Cmd.eval ~catch:false main_cmd) with
   | Ir.Diag.Fail d ->
-    prerr_endline (Ir.Diag.to_string d);
+    (* Already carries its "[error <stage>]" prefix. *)
+    Obs.Log.error_raw (Ir.Diag.to_string d);
     exit (Ir.Diag.exit_code d)
   | Workloads.Registry.Unknown_benchmark name ->
-    Printf.eprintf "unknown benchmark: %s (see `impact list')\n" name;
+    Obs.Log.error "unknown benchmark: %s (see `impact list')" name;
     exit 2
   | Experiments.Runner.Unknown_experiment id ->
-    Printf.eprintf "unknown experiment: %s (see `impact list')\n" id;
+    Obs.Log.error "unknown experiment: %s (see `impact list')" id;
     exit 2
   | Placement.Strategy.Unknown_strategy id ->
-    Printf.eprintf "unknown strategy: %s (see `impact list')\n" id;
+    Obs.Log.error "unknown strategy: %s (see `impact list')" id;
     exit 2
   | Failure msg ->
-    prerr_endline msg;
+    Obs.Log.error "%s" msg;
     exit 2

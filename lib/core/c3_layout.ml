@@ -29,6 +29,11 @@ let max_cluster_bytes = 16384
 let distance_horizon = 4096.
 let epsilon = 1e-9
 
+(* Telemetry: accepted cluster merges. *)
+let clusters_merged =
+  Obs.Metrics.counter "layout.clusters_merged"
+    ~help:"C3 call-chain cluster merges applied"
+
 type cluster = {
   cid : int; (* stable id, for deterministic tie-breaking *)
   mutable funcs : int list; (* placement order, head first *)
@@ -154,6 +159,7 @@ let global nfuncs ~entry (w : Weight.call_weights) : Global_layout.t =
     match !best with
     | None -> ()
     | Some (_, (a, b), funcs) ->
+      Obs.Metrics.incr clusters_merged;
       let ca = cluster_of.(a) and cb = cluster_of.(b) in
       ca.funcs <- funcs;
       ca.bytes <- ca.bytes + cb.bytes;

@@ -191,6 +191,7 @@ let layout (f : Prog.func) (w : Weight.cfg_weights) : Func_layout.t =
       match !best with
       | None -> ()
       | Some (_, (a, b), seq) ->
+        Obs.Metrics.incr Ph_layout.chains_merged;
         let ca = chain_of.(a) and cb = chain_of.(b) in
         (* Keep [ca] as the surviving chain; retire [cb]. *)
         ca.blocks <- seq;
@@ -246,6 +247,8 @@ let layout (f : Prog.func) (w : Weight.cfg_weights) : Func_layout.t =
     let dead_labels =
       List.filter (fun l -> not (executed l)) (List.init n (fun l -> l))
     in
+    Obs.Metrics.incr ~by:(List.length dead_labels)
+      Func_layout.dead_blocks_sunk;
     let order = Array.of_list (active_labels @ dead_labels) in
     let bytes labels =
       List.fold_left (fun acc l -> acc + size.(l)) 0 labels

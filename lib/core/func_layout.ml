@@ -19,9 +19,16 @@ type t = {
   total_bytes : int;
 }
 
+(* Telemetry: blocks placed outside the packed effective region, across
+   every layout algorithm that sinks dead code. *)
+let dead_blocks_sunk =
+  Obs.Metrics.counter "layout.dead_blocks_sunk"
+    ~help:"never-executed blocks placed after the effective region"
+
 (* Never-executed function: original order, empty effective region. *)
 let layout_unexecuted (f : Prog.func) : t =
   let n = Array.length f.blocks in
+  Obs.Metrics.incr ~by:n dead_blocks_sunk;
   {
     order = Array.init n (fun l -> l);
     active_blocks = 0;
@@ -99,6 +106,7 @@ let layout (f : Prog.func) (w : Weight.cfg_weights) (sel : Trace_select.t) : t
   in
   let active_labels = order_of active_trace_order in
   let inactive_labels = order_of inactive in
+  Obs.Metrics.incr ~by:(List.length inactive_labels) dead_blocks_sunk;
   let order = Array.of_list (active_labels @ inactive_labels) in
   let bytes labels =
     List.fold_left (fun acc l -> acc + Cfg.byte_size f.blocks.(l)) 0 labels

@@ -26,3 +26,7 @@ val natural : Prog.func -> t
 
 val is_permutation : t -> int -> bool
 (** Sanity: [order] is a permutation of the function's blocks. *)
+
+val dead_blocks_sunk : Obs.Metrics.counter
+(** Telemetry: blocks placed outside the packed effective region; shared
+    by every layout algorithm that sinks dead code. *)

@@ -177,6 +177,9 @@ let expand ?(config = default_config) (prog : Prog.program)
     end
   in
   let prog', sites_inlined, rounds_used = go 0 prog 0 in
+  Obs.Metrics.incr ~by:sites_inlined
+    (Obs.Metrics.counter "pipeline.sites_inlined"
+       ~help:"call sites expanded by inline rounds");
   ( prog',
     {
       sites_inlined;

@@ -26,6 +26,16 @@ type chain = {
   mutable weight : int;
 }
 
+(* Telemetry: tail-to-head chain concatenations (intra-function) and
+   "closest is best" group concatenations (global). *)
+let chains_merged =
+  Obs.Metrics.counter "layout.chains_merged"
+    ~help:"block-chain merges applied (Pettis-Hansen + ext-TSP)"
+
+let groups_merged =
+  Obs.Metrics.counter "layout.groups_merged"
+    ~help:"Pettis-Hansen closest-is-best group concatenations"
+
 let layout (f : Prog.func) (w : Weight.cfg_weights) : Func_layout.t =
   let n = Array.length f.blocks in
   if w.func_weight = 0 then Func_layout.layout_unexecuted f
@@ -59,7 +69,8 @@ let layout (f : Prog.func) (w : Weight.cfg_weights) : Func_layout.t =
           ca.blocks <- ca.blocks @ cb.blocks;
           ca.tail <- cb.tail;
           ca.weight <- ca.weight + cb.weight;
-          List.iter (fun l -> chain_of.(l) <- ca) cb.blocks
+          List.iter (fun l -> chain_of.(l) <- ca) cb.blocks;
+          Obs.Metrics.incr chains_merged
         end)
       arcs;
     (* Distinct chains, in block order of their heads. *)
@@ -83,6 +94,9 @@ let layout (f : Prog.func) (w : Weight.cfg_weights) : Func_layout.t =
       @ List.concat_map (fun c -> c.blocks) dead
     in
     let order = Array.of_list order_list in
+    Obs.Metrics.incr
+      ~by:(List.length (List.concat_map (fun c -> c.blocks) dead))
+      Func_layout.dead_blocks_sunk;
     let active_labels = List.concat_map (fun c -> c.blocks) executed in
     let bytes labels =
       List.fold_left (fun acc l -> acc + Cfg.byte_size f.blocks.(l)) 0 labels
@@ -129,7 +143,8 @@ let global nfuncs ~entry (w : Weight.call_weights) : Global_layout.t =
       let ga = group_of.(a) and gb = group_of.(b) in
       if ga != gb then begin
         ga := !ga @ !gb;
-        List.iter (fun fid -> group_of.(fid) <- ga) !gb
+        List.iter (fun fid -> group_of.(fid) <- ga) !gb;
+        Obs.Metrics.incr groups_merged
       end)
     edges;
   (* Emit the entry's group first, then remaining groups by total entry

@@ -37,14 +37,22 @@ let run ?(config = default_config) (original : Prog.program)
     ~(inputs : Vm.Io.input list) : t =
   (* Step 0 (compiler hygiene): CFG cleanups before anything is profiled. *)
   let original =
-    if config.do_simplify then Simplify.program original else original
+    if config.do_simplify then
+      Obs.Span.with_ ~stage:"simplify" (fun () -> Simplify.program original)
+    else original
   in
   (* Step 1: execution profiling of the original program. *)
-  let original_profile = Vm.Profile.profile original inputs in
+  let original_profile =
+    Obs.Span.with_ ~stage:"profile"
+      ~attrs:[ ("program", "original") ]
+      (fun () -> Vm.Profile.profile original inputs)
+  in
   (* Step 2: inline expansion of the important call sites, then a second
      cleanup pass over the splices. *)
   let program, inline_report =
-    if config.do_inline then Inline.expand ~config:config.inline original ~inputs
+    if config.do_inline then
+      Obs.Span.with_ ~stage:"inline" (fun () ->
+          Inline.expand ~config:config.inline original ~inputs)
     else
       ( original,
         {
@@ -55,7 +63,10 @@ let run ?(config = default_config) (original : Prog.program)
         } )
   in
   let program =
-    if config.do_simplify && config.do_inline then Simplify.program program
+    if config.do_simplify && config.do_inline then
+      Obs.Span.with_ ~stage:"simplify"
+        ~attrs:[ ("program", "inlined") ]
+        (fun () -> Simplify.program program)
     else program
   in
   (* Report code growth against what actually ships. *)
@@ -64,32 +75,42 @@ let run ?(config = default_config) (original : Prog.program)
   in
   (* Re-profile the transformed program on the same inputs so the layout
      steps see weights that match its control graphs. *)
-  let profile = Vm.Profile.profile program inputs in
+  let profile =
+    Obs.Span.with_ ~stage:"profile"
+      ~attrs:[ ("program", "inlined") ]
+      (fun () -> Vm.Profile.profile program inputs)
+  in
   (* Step 3: trace selection per function. *)
   let selections =
-    Array.mapi
-      (fun fid f ->
-        Trace_select.select ~min_prob:config.min_prob f
-          (Weight.cfg_of_profile profile fid))
-      program.Prog.funcs
+    Obs.Span.with_ ~stage:"trace-selection" (fun () ->
+        Array.mapi
+          (fun fid f ->
+            Trace_select.select ~min_prob:config.min_prob f
+              (Weight.cfg_of_profile profile fid))
+          program.Prog.funcs)
   in
   (* Step 4: function body layout. *)
   let layouts =
-    Array.mapi
-      (fun fid f ->
-        Func_layout.layout f (Weight.cfg_of_profile profile fid)
-          selections.(fid))
-      program.Prog.funcs
+    Obs.Span.with_ ~stage:"func-layout" (fun () ->
+        Array.mapi
+          (fun fid f ->
+            Func_layout.layout f (Weight.cfg_of_profile profile fid)
+              selections.(fid))
+          program.Prog.funcs)
   in
   (* Step 5: global layout over the weighted call graph. *)
   let global =
-    Global_layout.layout
-      (Array.length program.Prog.funcs)
-      ~entry:program.Prog.entry
-      (Weight.call_of_profile profile)
+    Obs.Span.with_ ~stage:"global-layout" (fun () ->
+        Global_layout.layout
+          (Array.length program.Prog.funcs)
+          ~entry:program.Prog.entry
+          (Weight.call_of_profile profile))
   in
-  let optimized = Address_map.build program ~layouts ~order:global in
-  let natural = Address_map.natural program in
+  let optimized, natural =
+    Obs.Span.with_ ~stage:"address-map" (fun () ->
+        ( Address_map.build program ~layouts ~order:global,
+          Address_map.natural program ))
+  in
   {
     original;
     original_profile;
@@ -111,18 +132,20 @@ let run ?(config = default_config) (original : Prog.program)
 let map_for (t : t) (s : Strategy.t) : Address_map.t =
   if s.Strategy.id = Strategy.impact.Strategy.id then t.optimized
   else if s.Strategy.id = Strategy.natural.Strategy.id then t.natural
-  else begin
-    let layouts =
-      Array.mapi
-        (fun fid f ->
-          s.Strategy.layout f (Weight.cfg_of_profile t.profile fid))
-        t.program.Prog.funcs
-    in
-    let order =
-      s.Strategy.global
-        (Array.length t.program.Prog.funcs)
-        ~entry:t.program.Prog.entry
-        (Weight.call_of_profile t.profile)
-    in
-    Address_map.build t.program ~layouts ~order
-  end
+  else
+    Obs.Span.with_ ~stage:"strategy-layout"
+      ~attrs:[ ("strategy", s.Strategy.id) ]
+      (fun () ->
+        let layouts =
+          Array.mapi
+            (fun fid f ->
+              s.Strategy.layout f (Weight.cfg_of_profile t.profile fid))
+            t.program.Prog.funcs
+        in
+        let order =
+          s.Strategy.global
+            (Array.length t.program.Prog.funcs)
+            ~entry:t.program.Prog.entry
+            (Weight.call_of_profile t.profile)
+        in
+        Address_map.build t.program ~layouts ~order)

@@ -19,6 +19,12 @@ type t = {
 
 let entry_label : Cfg.label = 0
 
+(* Telemetry: total traces formed, across every function and caller
+   (the pipeline, the impact/c3 strategies, experiments). *)
+let traces_selected =
+  Obs.Metrics.counter "layout.traces_selected"
+    ~help:"traces formed by Algorithm TraceSelection"
+
 let select ?(min_prob = default_min_prob) (f : Prog.func)
     (w : Weight.cfg_weights) : t =
   let n = Array.length f.blocks in
@@ -27,6 +33,7 @@ let select ?(min_prob = default_min_prob) (f : Prog.func)
     (* Non-executed function: every basic block forms its own trace. *)
     let traces = Array.init n (fun l -> [| l |]) in
     Array.iteri (fun l _ -> trace_of.(l) <- l) trace_of;
+    Obs.Metrics.incr ~by:n traces_selected;
     { trace_of; traces }
   end
   else begin
@@ -113,6 +120,7 @@ let select ?(min_prob = default_min_prob) (f : Prog.func)
           traces := Array.of_list blocks :: !traces
         end)
       seeds;
+    Obs.Metrics.incr ~by:!ntraces traces_selected;
     { trace_of; traces = Array.of_list (List.rev !traces) }
   end
 

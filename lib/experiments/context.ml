@@ -33,33 +33,57 @@ type entry = {
 
 type t = entry list
 
+(* Telemetry: the memoized-simulation hit rate and the degradation
+   count are the context's own health metrics. *)
+let memo_hits =
+  Obs.Metrics.counter "context.memo_hits"
+    ~help:"simulation results served from the (map, trace, config) cache"
+
+let memo_misses =
+  Obs.Metrics.counter "context.memo_misses"
+    ~help:"simulation cache misses (filled by the single-pass engine)"
+
+let strategy_fallbacks =
+  Obs.Metrics.counter "context.strategy_fallbacks"
+    ~help:"strategies that raised and fell back to the natural layout"
+
 let make_entry bench =
+  let bench_attr = [ ("bench", bench.Workloads.Bench.name) ] in
   let pipeline =
     lazy
-      (Placement.Pipeline.run
-         (Workloads.Bench.program bench)
-         ~inputs:(Workloads.Bench.profile_inputs bench))
+      (Obs.Span.with_ ~stage:"pipeline" ~attrs:bench_attr (fun () ->
+           Placement.Pipeline.run
+             (Workloads.Bench.program bench)
+             ~inputs:(Workloads.Bench.profile_inputs bench)))
   in
   let pipeline_noinline =
     lazy
-      (Placement.Pipeline.run
-         ~config:{ Placement.Pipeline.default_config with do_inline = false }
-         (Workloads.Bench.program bench)
-         ~inputs:(Workloads.Bench.profile_inputs bench))
+      (Obs.Span.with_ ~stage:"pipeline"
+         ~attrs:(("inline", "off") :: bench_attr)
+         (fun () ->
+           Placement.Pipeline.run
+             ~config:
+               { Placement.Pipeline.default_config with do_inline = false }
+             (Workloads.Bench.program bench)
+             ~inputs:(Workloads.Bench.profile_inputs bench)))
   in
   let trace =
     lazy
-      (Sim.Trace_gen.record
-         (Lazy.force pipeline).Placement.Pipeline.program
-         (Workloads.Bench.trace_input bench))
+      (Obs.Span.with_ ~stage:"trace-record" ~attrs:bench_attr (fun () ->
+           Sim.Trace_gen.record
+             (Lazy.force pipeline).Placement.Pipeline.program
+             (Workloads.Bench.trace_input bench)))
   in
   let original_trace =
     (* The pre-inlining program as the pipeline shipped it (i.e. after
        the cleanup pass), so it matches original_map's labels. *)
     lazy
-      (Sim.Trace_gen.record
-         (Lazy.force pipeline).Placement.Pipeline.original
-         (Workloads.Bench.trace_input bench))
+      (Obs.Span.with_ ~stage:"trace-record"
+         ~attrs:(("program", "original") :: bench_attr)
+         (fun () ->
+           Sim.Trace_gen.record
+             (Lazy.force pipeline).Placement.Pipeline.original
+             (Workloads.Bench.trace_input bench)))
   in
   let lazy_original_map =
     (* Natural layout of the original (pre-inlining) program: the fully
@@ -123,19 +147,27 @@ let strategy_map e (s : Placement.Strategy.t) =
   | Some map -> map
   | None ->
     let map =
-      try Placement.Pipeline.map_for (pipeline e) s
+      try
+        Obs.Span.with_ ~stage:"strategy-map"
+          ~attrs:[ ("bench", name e); ("strategy", id) ]
+          (fun () -> Placement.Pipeline.map_for (pipeline e) s)
       with exn ->
         let detail =
           match exn with
           | Ir.Diag.Fail d -> Ir.Diag.to_string d
           | _ -> Printexc.to_string exn
         in
-        e.warnings <-
+        let d =
           Ir.Diag.make ~severity:Ir.Diag.Warning ~stage:Ir.Diag.Strategy
             ~strategy:id "%s: strategy failed (%s); fell back to the \
                           natural layout"
             (name e) detail
-          :: e.warnings;
+        in
+        e.warnings <- d :: e.warnings;
+        (* Surface the degradation the moment it happens — table
+           rendering may flush much later (or never, on a crash). *)
+        Obs.Log.warn_raw (Ir.Diag.to_string d);
+        Obs.Metrics.incr strategy_fallbacks;
         (pipeline e).Placement.Pipeline.natural
     in
     e.strategy_maps <- (id, map) :: e.strategy_maps;
@@ -220,6 +252,11 @@ let simulate_many e configs map trace =
          (fun c -> find_cached e c ~map ~trace = None)
          configs)
   in
+  if Obs.Metrics.enabled () then begin
+    let miss = List.length missing in
+    Obs.Metrics.incr ~by:miss memo_misses;
+    Obs.Metrics.incr ~by:(List.length configs - miss) memo_hits
+  end;
   (match missing with
   | [] -> ()
   | _ ->

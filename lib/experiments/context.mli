@@ -85,3 +85,14 @@ val simulate_many :
 (** Like {!simulate} for several configurations at once: every uncached
     configuration is simulated in a single pass over the trace via
     {!Sim.Driver.simulate_many}. *)
+
+(** {2 Telemetry} *)
+
+val memo_hits : Obs.Metrics.counter
+(** Simulation results served from the memo table. *)
+
+val memo_misses : Obs.Metrics.counter
+(** Simulation cache misses (filled by the single-pass engine). *)
+
+val strategy_fallbacks : Obs.Metrics.counter
+(** Strategies that raised and degraded to the natural layout. *)

@@ -31,6 +31,17 @@ type failure = {
 let fuel = 50_000_000
 let case_input = Vm.Io.input []
 
+(* Telemetry: volume and outcome of fuzzing campaigns. *)
+let seeds_checked =
+  Obs.Metrics.counter "fuzz.seeds" ~help:"generated programs checked"
+
+let failures_found =
+  Obs.Metrics.counter "fuzz.failures" ~help:"seeds that broke an invariant"
+
+let shrink_steps_taken =
+  Obs.Metrics.counter "fuzz.shrink_steps"
+    ~help:"successful shrink steps over all failures"
+
 (* Geometry is irrelevant to the access-count cross-check; a small cache
    keeps a 200-case smoke run fast. *)
 let sim_config = Icache.Config.make ~size:512 ~block:16 ()
@@ -217,12 +228,22 @@ let report_failure ppf (f : failure) =
    progress through [log]. *)
 let run ?(size = 120) ?strategies ?(log = ignore) ~first_seed ~count () :
     failure list =
+  Obs.Span.with_ ~stage:"fuzz"
+    ~attrs:
+      [
+        ("first_seed", string_of_int first_seed);
+        ("count", string_of_int count);
+      ]
+  @@ fun () ->
   let failures = ref [] in
   for k = 0 to count - 1 do
     let seed = first_seed + k in
+    Obs.Metrics.incr seeds_checked;
     (match run_seed ~size ?strategies seed with
     | None -> ()
     | Some f ->
+      Obs.Metrics.incr failures_found;
+      Obs.Metrics.incr ~by:f.shrink_steps shrink_steps_taken;
       log (Fmt.str "%a" report_failure f);
       failures := f :: !failures);
     if (k + 1) mod 50 = 0 || k = count - 1 then

@@ -30,7 +30,12 @@ let all : spec list =
 exception Unknown_experiment of string
 
 (* Mnemonic aliases accepted anywhere an experiment id is. *)
-let aliases = [ ("strategy-comparison", "17"); ("strategies", "17") ]
+let aliases =
+  [
+    ("strategy-comparison", "17");
+    ("strategies", "17");
+    ("comparison", "10");
+  ]
 
 let find id =
   let id =
@@ -40,31 +45,43 @@ let find id =
   | Some s -> s
   | None -> raise (Unknown_experiment id)
 
-(* Render one table, followed by any degradation warnings the entries
-   recorded while building it (e.g. a strategy that raised and fell
-   back to the natural layout).  Only warnings new to this table are
-   printed, so a sweep over several tables reports each once. *)
-let run_one ctx spec =
+(* One regenerated table with its provenance: the structured rows (for
+   machine-readable reports), the wall time, and the degradation
+   warnings first recorded while it was built.  Warnings themselves are
+   surfaced the moment they occur through [Obs.Log] (see
+   [Context.strategy_map]) — they used to be appended to the rendered
+   table body, which delayed them until the table flushed. *)
+type outcome = {
+  spec : spec;
+  table : Report.Table.t;
+  wall_seconds : float;
+  fresh_warnings : Ir.Diag.t list;
+      (* warnings newly recorded while this table was built *)
+}
+
+let run_spec ctx spec =
   let counts () =
     List.map
       (fun e -> List.length (Context.warnings e))
       (Context.entries ctx)
   in
   let before = counts () in
-  let body = Report.Table.render (spec.table ctx) in
-  let fresh =
+  let t0 = Obs.Clock.now () in
+  let table =
+    Obs.Span.with_ ~stage:"table"
+      ~attrs:[ ("id", spec.id); ("title", spec.title) ]
+      (fun () -> spec.table ctx)
+  in
+  let wall_seconds = Obs.Clock.now () -. t0 in
+  let fresh_warnings =
     List.concat
       (List.map2
          (fun e n -> List.filteri (fun i _ -> i >= n) (Context.warnings e))
          (Context.entries ctx) before)
   in
-  match fresh with
-  | [] -> body
-  | ws ->
-    body ^ "\n"
-    ^ String.concat "\n"
-        (List.map (fun d -> "warning: " ^ Ir.Diag.to_string d) ws)
-    ^ "\n"
+  { spec; table; wall_seconds; fresh_warnings }
+
+let run_one ctx spec = Report.Table.render (run_spec ctx spec).table
 
 let run_all ctx =
   String.concat "\n" (List.map (fun spec -> run_one ctx spec) all)

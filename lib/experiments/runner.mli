@@ -17,5 +17,19 @@ val aliases : (string * string) list
 val find : string -> spec
 (** Lookup by id or alias; raises {!Unknown_experiment}. *)
 
+type outcome = {
+  spec : spec;
+  table : Report.Table.t;  (** structured rows, for JSON reports *)
+  wall_seconds : float;
+  fresh_warnings : Ir.Diag.t list;
+      (** degradation warnings first recorded while this table was built
+          (already surfaced immediately through [Obs.Log]) *)
+}
+
+val run_spec : Context.t -> spec -> outcome
+(** Build one table inside a ["table"] span, timing it. *)
+
 val run_one : Context.t -> spec -> string
+(** [run_spec] rendered to the plain-text table. *)
+
 val run_all : Context.t -> string

@@ -21,6 +21,9 @@ let config = Icache.Config.make ~size:2048 ~block:64 ()
 let compute ?(strategies = Placement.Strategy.all) ctx =
   List.concat_map
     (fun e ->
+      Obs.Span.with_ ~stage:"strategy-exp"
+        ~attrs:[ ("bench", Context.name e) ]
+      @@ fun () ->
       let trace = Context.trace e in
       List.map
         (fun (s : Placement.Strategy.t) ->

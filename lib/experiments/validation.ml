@@ -88,4 +88,11 @@ let check_entry ?(level = Cheap) (e : Context.entry) : Ir.Diag.t list =
   pipeline_diags @ per_strategy @ invariance @ sim @ fallbacks
 
 let check ?level (t : Context.t) : Ir.Diag.t list =
-  List.concat_map (check_entry ?level) (Context.entries t)
+  let level_name =
+    match level with
+    | Some Full -> "full"
+    | Some Cheap | None -> "cheap"
+  in
+  Obs.Span.with_ ~stage:"validate"
+    ~attrs:[ ("level", level_name) ]
+    (fun () -> List.concat_map (check_entry ?level) (Context.entries t))

@@ -1,0 +1,5 @@
+(* Wall clock for coarse stage timing (seconds).  One definition so the
+   span layer, the experiment runner and the bench harness agree on the
+   time source. *)
+
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,5 @@
+(** Wall clock shared by spans, the experiment runner and the bench
+    harness. *)
+
+val now : unit -> float
+(** Seconds since the epoch, microsecond resolution. *)

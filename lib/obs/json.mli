@@ -1,0 +1,32 @@
+(** Minimal JSON tree with an RFC 8259 emitter and a strict parser —
+    just enough for the telemetry artifacts (Chrome traces, table-row
+    reports, bench reports) and the tests that validate them, with no
+    external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_channel : out_channel -> t -> unit
+
+val to_file : string -> t -> unit
+(** Write to [path] (truncating), with a trailing newline. *)
+
+exception Parse_error of string
+
+val parse_exn : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val parse : string -> (t, string) result
+val of_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] for other constructors or missing keys. *)
+
+val to_list : t -> t list option

@@ -1,0 +1,37 @@
+(* One log sink for the progress/warning chatter around the pipeline.
+
+   Severity prefixes match [Ir.Diag]'s rendering ("[warning ...]",
+   "[error ...]"); preformatted diagnostics go through the [_raw]
+   entry points unchanged so they are not double-prefixed.  The default
+   sink writes to stderr, keeping stdout a pure table/report stream;
+   [set_quiet true] (the CLI's --quiet) drops [Info] and [Warn] while
+   [Error] always gets through. *)
+
+type level = Info | Warn | Error
+
+type sink = level -> string -> unit
+
+let default_sink _level msg =
+  prerr_string msg;
+  prerr_newline ();
+  flush stderr
+
+let the_sink = ref default_sink
+let quiet_flag = ref false
+
+let set_sink s = the_sink := s
+let reset_sink () = the_sink := default_sink
+let set_quiet b = quiet_flag := b
+let quiet () = !quiet_flag
+
+let emit level msg =
+  match level with
+  | Error -> !the_sink Error msg
+  | Info | Warn -> if not !quiet_flag then !the_sink level msg
+
+let info fmt = Printf.ksprintf (emit Info) fmt
+let warn fmt = Printf.ksprintf (fun m -> emit Warn ("[warning] " ^ m)) fmt
+let error fmt = Printf.ksprintf (fun m -> emit Error ("[error] " ^ m)) fmt
+
+let warn_raw msg = emit Warn msg
+let error_raw msg = emit Error msg

@@ -1,0 +1,162 @@
+(* Typed metrics registry: counters, gauges and summary histograms.
+
+   Instruments register a metric once (usually at module-init time) and
+   bump it from hot code; [incr]/[set]/[observe] are no-ops while the
+   registry is disabled, so the cost of a disabled instrument is one
+   load and branch.  Registration is idempotent per (name, kind) —
+   asking for the same counter twice returns the same instance — and a
+   name collision across kinds is a programming error and raises.
+
+   [dump] renders a deterministic text report (names sorted), written by
+   the CLI behind [--metrics-out]. *)
+
+type counter = { c_name : string; c_help : string; mutable count : int }
+type gauge = { g_name : string; g_help : string; mutable value : float }
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  mutable n : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let on = ref false
+
+let set_enabled b = on := b
+let enabled () = !on
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register name make_new match_existing =
+  match Hashtbl.find_opt registry name with
+  | None ->
+    let m = make_new () in
+    Hashtbl.add registry name m;
+    m
+  | Some m -> (
+    match match_existing m with
+    | Some _ -> m
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Obs.Metrics: %S is already registered as a %s" name
+           (kind_name m)))
+
+let counter ?(help = "") name =
+  match
+    register name
+      (fun () -> C { c_name = name; c_help = help; count = 0 })
+      (function C _ as m -> Some m | _ -> None)
+  with
+  | C c -> c
+  | _ -> assert false
+
+let gauge ?(help = "") name =
+  match
+    register name
+      (fun () -> G { g_name = name; g_help = help; value = 0. })
+      (function G _ as m -> Some m | _ -> None)
+  with
+  | G g -> g
+  | _ -> assert false
+
+let histogram ?(help = "") name =
+  match
+    register name
+      (fun () ->
+        H
+          {
+            h_name = name;
+            h_help = help;
+            n = 0;
+            sum = 0.;
+            vmin = infinity;
+            vmax = neg_infinity;
+          })
+      (function H _ as m -> Some m | _ -> None)
+  with
+  | H h -> h
+  | _ -> assert false
+
+let incr ?(by = 1) c = if !on then c.count <- c.count + by
+let value c = c.count
+
+let set g v = if !on then g.value <- v
+let gauge_value g = g.value
+
+let observe h v =
+  if !on then begin
+    h.n <- h.n + 1;
+    h.sum <- h.sum +. v;
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v
+  end
+
+let hist_count h = h.n
+let hist_sum h = h.sum
+let hist_min h = if h.n = 0 then 0. else h.vmin
+let hist_max h = if h.n = 0 then 0. else h.vmax
+let hist_mean h = if h.n = 0 then 0. else h.sum /. float_of_int h.n
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> c.count <- 0
+      | G g -> g.value <- 0.
+      | H h ->
+        h.n <- 0;
+        h.sum <- 0.;
+        h.vmin <- infinity;
+        h.vmax <- neg_infinity)
+    registry
+
+(* Test helper: forget every registration (module-level instruments keep
+   working but re-register lazily on next lookup by other callers). *)
+let clear () = Hashtbl.reset registry
+
+let dump () =
+  let entries =
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  in
+  let entries =
+    List.sort (fun (a, _) (b, _) -> compare a b) entries
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# obs metrics (deterministic order)\n";
+  List.iter
+    (fun (name, m) ->
+      (match m with
+      | C c ->
+        Buffer.add_string buf
+          (Printf.sprintf "counter    %-52s %d\n" name c.count)
+      | G g ->
+        Buffer.add_string buf
+          (Printf.sprintf "gauge      %-52s %g\n" name g.value)
+      | H h ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "histogram  %-52s n=%d sum=%.6f min=%.6f mean=%.6f max=%.6f\n"
+             name h.n (hist_sum h) (hist_min h) (hist_mean h) (hist_max h)));
+      match m with
+      | C { c_help = ""; _ } | G { g_help = ""; _ } | H { h_help = ""; _ } ->
+        ()
+      | C { c_help = help; _ } | G { g_help = help; _ } | H { h_help = help; _ }
+        ->
+        Buffer.add_string buf (Printf.sprintf "#          ^ %s\n" help))
+    entries;
+  Buffer.contents buf
+
+let write path =
+  if path = "-" then prerr_string (dump ())
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (dump ()))
+  end

@@ -1,0 +1,41 @@
+(** Typed metrics registry: counters, gauges and summary histograms.
+
+    Registration is idempotent per (name, kind); a cross-kind name
+    collision raises [Invalid_argument].  All mutation operations are
+    no-ops while the registry is disabled (the default), so a disabled
+    instrument costs one load and branch. *)
+
+type counter
+type gauge
+type histogram
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val counter : ?help:string -> string -> counter
+val incr : ?by:int -> counter -> unit
+val value : counter -> int
+
+val gauge : ?help:string -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : ?help:string -> string -> histogram
+val observe : histogram -> float -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_min : histogram -> float
+val hist_max : histogram -> float
+val hist_mean : histogram -> float
+
+val reset : unit -> unit
+(** Zero every registered value; registrations survive. *)
+
+val clear : unit -> unit
+(** Forget every registration (test isolation). *)
+
+val dump : unit -> string
+(** Deterministic text report, one line per metric, names sorted. *)
+
+val write : string -> unit
+(** Write {!dump} to a file, or to stderr when the path is ["-"]. *)

@@ -1,0 +1,34 @@
+(** Wall-clock stage spans with Chrome trace-event export.
+
+    Disabled by default; the disabled [with_] is a direct call to its
+    argument behind one branch.  When enabled, completed spans carry the
+    stage name, string attributes, nesting depth and completion order,
+    and (when the metrics registry is also enabled) feed a per-stage
+    duration histogram [span.<stage>.seconds]. *)
+
+type event = {
+  name : string;
+  attrs : (string * string) list;
+  start_us : float;  (** microseconds since spans were enabled/reset *)
+  dur_us : float;
+  depth : int;  (** nesting depth at entry; 0 = root *)
+  seq : int;  (** completion order, starting at 1 *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_ : stage:string -> ?attrs:(string * string) list -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span named [stage].  The span is recorded
+    even when the thunk raises. *)
+
+val events : unit -> event list
+(** Completed spans in completion order. *)
+
+val reset : unit -> unit
+
+val to_chrome_json : unit -> Json.t
+(** Chrome trace-event format ("X" complete events, one pid/tid),
+    loadable in chrome://tracing and Perfetto. *)
+
+val write_chrome : string -> unit

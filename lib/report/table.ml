@@ -27,6 +27,10 @@ let make ~title ~header ?align rows =
     rows;
   { title; header; align; rows }
 
+let title t = t.title
+let header t = t.header
+let rows t = t.rows
+
 let widths t =
   let ncols = List.length t.header in
   let w = Array.make ncols 0 in

@@ -13,5 +13,13 @@ val make :
 (** Raises [Invalid_argument] when a row's width disagrees with the
     header.  Default alignment is right for every column. *)
 
+val title : t -> string
+
+val header : t -> string list
+
+val rows : t -> string list list
+(** Structured accessors, for machine-readable exports that must carry
+    exactly the cells the text rendering prints. *)
+
 val render : t -> string
 val print : t -> unit

@@ -33,9 +33,28 @@ type result = {
   eat_streaming_partial : float;
 }
 
+(* Telemetry: per-configuration cache counters, labelled with the
+   configuration's human description, accumulated across every
+   simulation (reference and fast engines alike). *)
+let record_metrics (results : result list) =
+  if Obs.Metrics.enabled () then
+    List.iter
+      (fun r ->
+        let d = Icache.Config.describe r.config in
+        Obs.Metrics.incr ~by:r.accesses
+          (Obs.Metrics.counter ("sim.accesses{" ^ d ^ "}"));
+        Obs.Metrics.incr ~by:r.misses
+          (Obs.Metrics.counter ("sim.misses{" ^ d ^ "}"));
+        Obs.Metrics.incr ~by:r.words_fetched
+          (Obs.Metrics.counter ("sim.words_fetched{" ^ d ^ "}")))
+      results
+
 let simulate ?(timing_model = Icache.Timing.default_model)
     (config : Icache.Config.t) (map : Placement.Address_map.t)
     (trace : Trace_gen.t) : result =
+  Obs.Span.with_ ~stage:"simulate"
+    ~attrs:[ ("engine", "reference"); ("config", Icache.Config.describe config) ]
+  @@ fun () ->
   let cache = Icache.Cache.create config in
   let words_per_block = Icache.Config.words_per_block config in
   let timers =
@@ -100,21 +119,25 @@ let simulate ?(timing_model = Icache.Timing.default_model)
         (List.length ts)
   in
   let eat_blocking, eat_streaming, eat_streaming_partial = eat timers in
-  {
-    config;
-    accesses = Icache.Cache.accesses cache;
-    misses = Icache.Cache.misses cache;
-    words_fetched = Icache.Cache.words_fetched cache;
-    miss_ratio = Icache.Cache.miss_ratio cache;
-    traffic_ratio = Icache.Cache.traffic_ratio cache;
-    avg_fetch_words = Icache.Cache.avg_fetch_words cache;
-    avg_exec_insns =
-      (if !runs_count = 0 then 0.
-       else float_of_int !runs_sum /. float_of_int !runs_count);
-    eat_blocking;
-    eat_streaming;
-    eat_streaming_partial;
-  }
+  let r =
+    {
+      config;
+      accesses = Icache.Cache.accesses cache;
+      misses = Icache.Cache.misses cache;
+      words_fetched = Icache.Cache.words_fetched cache;
+      miss_ratio = Icache.Cache.miss_ratio cache;
+      traffic_ratio = Icache.Cache.traffic_ratio cache;
+      avg_fetch_words = Icache.Cache.avg_fetch_words cache;
+      avg_exec_insns =
+        (if !runs_count = 0 then 0.
+         else float_of_int !runs_sum /. float_of_int !runs_count);
+      eat_blocking;
+      eat_streaming;
+      eat_streaming_partial;
+    }
+  in
+  record_metrics [ r ];
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Block-granular, single-pass, multi-configuration engine             *)
@@ -197,6 +220,13 @@ let result_of st =
 
 let simulate_many ?(timing_model = Icache.Timing.default_model) configs
     (map : Placement.Address_map.t) (trace : Trace_gen.t) : result list =
+  Obs.Span.with_ ~stage:"simulate"
+    ~attrs:
+      [
+        ("engine", "single-pass");
+        ("configs", string_of_int (List.length configs));
+      ]
+  @@ fun () ->
   let states =
     List.map
       (fun config ->
@@ -254,7 +284,9 @@ let simulate_many ?(timing_model = Icache.Timing.default_model) configs
           st.prev_addr <- base + ((words - 1) * Icache.Config.word_bytes)
         done)
     trace;
-  List.map result_of states
+  let results = List.map result_of states in
+  record_metrics results;
+  results
 
 let simulate_all ?timing_model configs map trace =
   simulate_many ?timing_model configs map trace

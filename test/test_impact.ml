@@ -21,4 +21,5 @@ let () =
       ("differential", Test_differential.suite);
       ("fast_sim", Test_fast_sim.suite);
       ("shapes", Test_shapes.suite);
+      ("obs", Test_obs.suite);
     ]
