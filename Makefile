@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make ci` on every PR.
 
-.PHONY: all build test bench bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke ci clean
+.PHONY: all build test bench bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke ci clean
 
 all: build
 
@@ -49,7 +49,17 @@ obs-smoke:
 	test -s _obs/metrics.txt
 	dune exec bin/checkjson.exe -- _obs/trace.json _obs/rows.json
 
-ci: build test bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke
+# Static layout linter end to end: two benchmarks across every
+# registered strategy, JSON report written and re-parsed, lint metrics
+# dumped.  No simulation happens anywhere in this target.
+lint-smoke:
+	rm -rf _obs && mkdir -p _obs
+	dune exec bin/main.exe -- lint -b cmp,wc --strategy all --format json \
+	  --metrics-out=_obs/lint-metrics.txt > _obs/lint.json
+	test -s _obs/lint-metrics.txt
+	dune exec bin/checkjson.exe -- _obs/lint.json
+
+ci: build test bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke
 
 clean:
 	dune clean

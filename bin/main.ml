@@ -419,6 +419,135 @@ let estimate_cmd =
        ~doc:"Profile-only analytical miss estimate vs trace-driven simulation")
     Term.(const run $ bench_arg $ size_arg $ block_arg)
 
+(* impact lint [-b BENCH] [--strategy S|all] [--format text|json]
+   [--fail-on warn|error] — the static layout linter: no trace, no
+   simulation, just the CFG, the profile weights, the address map and
+   the cache geometry.  `--strategy all' sweeps the registry and ranks
+   strategies by static conflict score. *)
+let lint_cmd =
+  let strategy_arg =
+    let doc =
+      Printf.sprintf
+        "Layout strategy to lint: %s, or $(b,all) to sweep the registry \
+         and rank strategies by static score."
+        (String.concat " | " (Placement.Strategy.ids ()))
+    in
+    Arg.(value & opt string "impact" & info [ "strategy" ] ~docv:"S" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: $(b,text) (default) or $(b,json)." in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let fail_on_arg =
+    let doc =
+      "Severity that fails the run (exit 18): $(b,error) (default) or \
+       $(b,warn) (any finding)."
+    in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("error", `Error); ("warn", `Warn) ]) `Error
+      & info [ "fail-on" ] ~docv:"SEV" ~doc)
+  in
+  let max_findings_arg =
+    let doc =
+      "Cap the findings printed per benchmark/strategy in text format \
+       (0 = unlimited); the summary always counts all of them."
+    in
+    Arg.(value & opt int 25 & info [ "max-findings" ] ~docv:"N" ~doc)
+  in
+  let min_prob_arg =
+    let doc =
+      "Hot-arc threshold: an arc is hot when it carries at least this \
+       fraction of both endpoint weights (default: the trace-selection \
+       MIN_PROB)."
+    in
+    Arg.(
+      value
+      & opt float Placement.Trace_select.default_min_prob
+      & info [ "min-prob" ] ~docv:"P" ~doc)
+  in
+  let run names strategy format fail_on max_findings min_prob obs =
+    with_telemetry obs @@ fun () ->
+    let ctx = context_of names in
+    let results =
+      List.concat_map
+        (fun e ->
+          if strategy = "all" then Experiments.Lint_exp.sweep ~min_prob e
+          else
+            [
+              Experiments.Lint_exp.lint_entry ~min_prob e
+                (Placement.Strategy.find strategy);
+            ])
+        (Experiments.Context.entries ctx)
+    in
+    (match format with
+    | `Json -> print_endline
+        (Obs.Json.to_string (Experiments.Lint_exp.report_json ~results))
+    | `Text ->
+      List.iter
+        (fun (r : Experiments.Lint_exp.result) ->
+          print_endline (Experiments.Lint_exp.summary r);
+          let findings = r.Experiments.Lint_exp.report.Analysis.Lint.findings in
+          let shown =
+            if max_findings <= 0 then findings
+            else List.filteri (fun i _ -> i < max_findings) findings
+          in
+          List.iter
+            (fun (f : Analysis.Lint.finding) ->
+              Printf.printf "  [%s] %s\n" f.Analysis.Lint.pass
+                (Ir.Diag.to_string f.Analysis.Lint.diag))
+            shown;
+          let hidden = List.length findings - List.length shown in
+          if hidden > 0 then
+            Printf.printf "  ... %d more finding(s) (raise --max-findings)\n"
+              hidden)
+        results;
+      if strategy = "all" then
+        List.iter
+          (fun e ->
+            let bench = Experiments.Context.name e in
+            let mine =
+              List.filter
+                (fun (r : Experiments.Lint_exp.result) ->
+                  r.Experiments.Lint_exp.bench = bench)
+                results
+            in
+            print_newline ();
+            print_string
+              (Report.Table.render
+                 (Experiments.Lint_exp.ranking_table bench mine)))
+          (Experiments.Context.entries ctx));
+    Option.iter
+      (fun p ->
+        Obs.Json.to_file p (Experiments.Lint_exp.report_json ~results))
+      obs.json_out;
+    (* Deterministic exit: the first threshold-crossing finding decides
+       (stage Lint -> exit 18); a clean run exits 0. *)
+    let failing =
+      List.concat_map
+        (fun (r : Experiments.Lint_exp.result) ->
+          match fail_on with
+          | `Error -> Analysis.Lint.errors r.Experiments.Lint_exp.report
+          | `Warn ->
+            List.map
+              (fun (f : Analysis.Lint.finding) -> f.Analysis.Lint.diag)
+              r.Experiments.Lint_exp.report.Analysis.Lint.findings)
+        results
+    in
+    match failing with [] -> () | d :: _ -> raise (Ir.Diag.Fail d)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically lint layouts (no simulation): dead blocks, broken \
+          hot arcs, split loops, cache-set conflicts, profile flow")
+    Term.(
+      const run $ bench_names_arg $ strategy_arg $ format_arg $ fail_on_arg
+      $ max_findings_arg $ min_prob_arg $ obs_term)
+
 let main_cmd =
   let doc =
     "IMPACT-I instruction placement reproduction (Hwu & Chang, ISCA 1989)"
@@ -426,12 +555,13 @@ let main_cmd =
   Cmd.group (Cmd.info "impact" ~doc)
     [
       list_cmd; table_cmd; all_cmd; run_cmd; pipeline_cmd; simulate_cmd;
-      estimate_cmd;
+      estimate_cmd; lint_cmd;
     ]
 
 (* Deterministic exit codes: cmdliner owns usage errors (2); structured
-   diagnostics map each failure class to its own code (10..17, see
-   [Ir.Diag.exit_code]); unknown names are usage errors. *)
+   diagnostics map each failure class to its own code (10..17 for the
+   pipeline stages, 18 for the static linter — see [Ir.Diag.exit_code]);
+   unknown names are usage errors. *)
 let () =
   try exit (Cmd.eval ~catch:false main_cmd) with
   | Ir.Diag.Fail d ->

@@ -1,0 +1,124 @@
+(* Iterative bit-vector dataflow: a round-robin worklist over an
+   explicit graph, with the meet taken over flow-predecessors (graph
+   predecessors for a forward problem, successors for a backward one)
+   and the classic gen/kill transfer.
+
+   Interior nodes start at the confluence identity (empty set for Union,
+   full set for Intersection) so the first meet is a plain copy; nodes
+   never reached by the worklist (unreachable from every boundary node)
+   keep that identity, which callers can detect — reachability itself is
+   the Union instance with an empty gen/kill and a one-bit universe. *)
+
+open Ir
+
+type direction = Forward | Backward
+type confluence = Union | Intersection
+
+type problem = {
+  nnodes : int;
+  nbits : int;
+  succs : int -> int list;
+  preds : int -> int list;
+  gen : int -> Bitset.t;
+  kill : int -> Bitset.t;
+  direction : direction;
+  confluence : confluence;
+  boundary : int list;
+  boundary_value : Bitset.t;
+}
+
+type solution = {
+  in_ : Bitset.t array;
+  out : Bitset.t array;
+  iterations : int;
+}
+
+let iterations_total =
+  Obs.Metrics.counter "analysis.dataflow_iterations"
+    ~help:"worklist pops across all dataflow solves"
+
+let solve (p : problem) : solution =
+  let n = p.nnodes in
+  let init () =
+    Array.init n (fun _ ->
+        let s = Bitset.create p.nbits in
+        (match p.confluence with Union -> () | Intersection -> Bitset.fill s);
+        s)
+  in
+  let in_ = init () and out = init () in
+  (* Flow-direction views: inputs of a node meet over its flow-preds,
+     and a changed output reschedules its flow-succs. *)
+  let flow_preds, flow_succs =
+    match p.direction with
+    | Forward -> (p.preds, p.succs)
+    | Backward -> (p.succs, p.preds)
+  in
+  let boundary = Array.make n false in
+  List.iter
+    (fun b ->
+      boundary.(b) <- true;
+      Bitset.assign ~dst:in_.(b) p.boundary_value)
+    p.boundary;
+  let on_list = Array.make n false in
+  let queue = Queue.create () in
+  let push v =
+    if not on_list.(v) then begin
+      on_list.(v) <- true;
+      Queue.add v queue
+    end
+  in
+  (* Seed in reverse-flow order so one sweep is often enough; the
+     boundary nodes come first. *)
+  List.iter push p.boundary;
+  for v = 0 to n - 1 do
+    push v
+  done;
+  let iterations = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    on_list.(v) <- false;
+    incr iterations;
+    (* Meet over flow-predecessors (the boundary nodes additionally keep
+       their boundary value in the mix). *)
+    let preds = flow_preds v in
+    if preds <> [] || boundary.(v) then begin
+      let acc = Bitset.create p.nbits in
+      (match p.confluence with
+      | Union -> ()
+      | Intersection -> Bitset.fill acc);
+      let first = ref true in
+      let meet src =
+        if !first then begin
+          Bitset.assign ~dst:acc src;
+          first := false
+        end
+        else
+          ignore
+            (match p.confluence with
+            | Union -> Bitset.union_into ~dst:acc src
+            | Intersection -> Bitset.inter_into ~dst:acc src)
+      in
+      if boundary.(v) then meet p.boundary_value;
+      List.iter (fun u -> meet out.(u)) preds;
+      Bitset.assign ~dst:in_.(v) acc
+    end;
+    let changed =
+      Bitset.transfer ~gen:(p.gen v) ~kill:(p.kill v) ~src:in_.(v)
+        ~dst:out.(v)
+    in
+    if changed then List.iter push (flow_succs v)
+  done;
+  Obs.Metrics.incr ~by:!iterations iterations_total;
+  { in_; out; iterations = !iterations }
+
+(* Predecessor lists from the terminator successors, deduplicated the
+   same way [Cfg.successors] deduplicates its targets. *)
+let cfg_preds (blocks : Cfg.block array) : Cfg.label list array =
+  let n = Array.length blocks in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun src b ->
+      List.iter (fun dst -> preds.(dst) <- src :: preds.(dst))
+        (Cfg.successors b))
+    blocks;
+  Array.map List.rev preds

@@ -1,0 +1,45 @@
+(** Generic iterative bit-vector dataflow over an explicit flow graph.
+
+    A problem names its universe size, per-node gen/kill sets, direction
+    and confluence operator; {!solve} runs a worklist to the (unique,
+    by monotonicity) fixpoint.  Reachability, liveness and the linter's
+    reaching-weights checks are all instances. *)
+
+open Ir
+
+type direction = Forward | Backward
+
+type confluence =
+  | Union  (** may-analyses: reachability, liveness *)
+  | Intersection  (** must-analyses: availability, dominance-style facts *)
+
+type problem = {
+  nnodes : int;
+  nbits : int;  (** universe size of every set *)
+  succs : int -> int list;
+  preds : int -> int list;
+  gen : int -> Bitset.t;
+  kill : int -> Bitset.t;
+  direction : direction;
+  confluence : confluence;
+  boundary : int list;
+      (** boundary nodes: flow-graph entries for a forward problem,
+          exits for a backward one *)
+  boundary_value : Bitset.t;  (** input value at the boundary nodes *)
+}
+
+type solution = {
+  in_ : Bitset.t array;
+      (** value flowing into each node's transfer function (block entry
+          for forward problems, block exit for backward ones) *)
+  out : Bitset.t array;  (** value after the node's transfer function *)
+  iterations : int;  (** worklist pops until the fixpoint *)
+}
+
+val solve : problem -> solution
+
+val cfg_preds : Cfg.block array -> Cfg.label list array
+(** Predecessor lists derived from {!Cfg.successors}, deduplicated. *)
+
+val iterations_total : Obs.Metrics.counter
+(** Telemetry: worklist pops across every [solve] call. *)

@@ -1,0 +1,119 @@
+open Ir
+
+type t = {
+  live_in : Bitset.t array;
+  live_out : Bitset.t array;
+  use : Bitset.t array;
+  def : Bitset.t array;
+  iterations : int;
+}
+
+let operand_reg = function Insn.Reg r -> Some r | Insn.Imm _ -> None
+
+(* Registers read by one instruction, in evaluation order. *)
+let insn_reads = function
+  | Insn.Mov (_, src) -> List.filter_map operand_reg [ src ]
+  | Insn.Bin (_, _, a, b) -> List.filter_map operand_reg [ a; b ]
+  | Insn.Load8 (_, base, off) | Insn.Load32 (_, base, off) ->
+    List.filter_map operand_reg [ base; off ]
+  | Insn.Store8 (base, off, v) | Insn.Store32 (base, off, v) ->
+    List.filter_map operand_reg [ base; off; v ]
+  | Insn.Intrin (_, _, args) -> List.filter_map operand_reg args
+
+let insn_writes = function
+  | Insn.Mov (d, _)
+  | Insn.Bin (_, d, _, _)
+  | Insn.Load8 (d, _, _)
+  | Insn.Load32 (d, _, _) ->
+    Some d
+  | Insn.Store8 _ | Insn.Store32 _ -> None
+  | Insn.Intrin (_, dst, _) -> dst
+
+let term_reads = function
+  | Cfg.Jump _ -> []
+  | Cfg.Br (c, _, _) | Cfg.Switch (c, _, _) -> List.filter_map operand_reg [ c ]
+  | Cfg.Ret o ->
+    List.filter_map operand_reg (Option.to_list o)
+  | Cfg.Call { args; _ } -> List.filter_map operand_reg args
+
+let term_writes = function
+  | Cfg.Call { dst; _ } -> dst
+  | Cfg.Jump _ | Cfg.Br _ | Cfg.Switch _ | Cfg.Ret _ -> None
+
+(* use = read before written within the block; def = written anywhere. *)
+let use_def nregs (b : Cfg.block) =
+  let use = Bitset.create nregs and def = Bitset.create nregs in
+  let read r = if not (Bitset.mem def r) then Bitset.add use r in
+  let write r = Bitset.add def r in
+  Array.iter
+    (fun insn ->
+      List.iter read (insn_reads insn);
+      Option.iter write (insn_writes insn))
+    b.Cfg.insns;
+  List.iter read (term_reads b.Cfg.term);
+  Option.iter write (term_writes b.Cfg.term);
+  (use, def)
+
+let of_func (f : Prog.func) : t =
+  let blocks = f.Prog.blocks in
+  let n = Array.length blocks in
+  let nregs = max 1 f.Prog.nregs in
+  let pairs = Array.map (use_def nregs) blocks in
+  let use = Array.map fst pairs and def = Array.map snd pairs in
+  let preds = Dataflow.cfg_preds blocks in
+  let exits =
+    List.filter
+      (fun l ->
+        match blocks.(l).Cfg.term with Cfg.Ret _ -> true | _ -> false)
+      (List.init n Fun.id)
+  in
+  let solution =
+    Dataflow.solve
+      {
+        Dataflow.nnodes = n;
+        nbits = nregs;
+        succs = (fun l -> Cfg.successors blocks.(l));
+        preds = (fun l -> preds.(l));
+        gen = (fun l -> use.(l));
+        kill = (fun l -> def.(l));
+        direction = Dataflow.Backward;
+        confluence = Dataflow.Union;
+        boundary = exits;
+        boundary_value = Bitset.create nregs;
+      }
+  in
+  (* Backward problem: the solver's [in_] is the value entering the
+     transfer in flow direction — the block's live-out — and [out] its
+     live-in. *)
+  {
+    live_in = solution.Dataflow.out;
+    live_out = solution.Dataflow.in_;
+    use;
+    def;
+    iterations = solution.Dataflow.iterations;
+  }
+
+let dead_stores (f : Prog.func) (t : t) : (Cfg.label * Insn.reg) list =
+  let acc = ref [] in
+  Array.iteri
+    (fun l (b : Cfg.block) ->
+      (* Walk backwards: a write is dead when the register is not in the
+         running live set; reads insert, writes remove. *)
+      let live = Bitset.copy t.live_out.(l) in
+      let step_writes w =
+        Option.iter
+          (fun r ->
+            if not (Bitset.mem live r) then acc := (l, r) :: !acc;
+            Bitset.remove live r)
+          w
+      in
+      let step_reads rs = List.iter (Bitset.add live) rs in
+      step_writes (term_writes b.Cfg.term);
+      step_reads (term_reads b.Cfg.term);
+      for k = Array.length b.Cfg.insns - 1 downto 0 do
+        let insn = b.Cfg.insns.(k) in
+        step_writes (insn_writes insn);
+        step_reads (insn_reads insn)
+      done)
+    f.Prog.blocks;
+  List.rev !acc

@@ -1,0 +1,29 @@
+(** Register liveness of the mini-C IR's virtual registers: the classic
+    backward-Union instance of the dataflow framework over block-level
+    use/def sets.
+
+    Block granularity: [use] holds the registers read before any write
+    within the block (terminator reads included), [def] the registers
+    written anywhere in it.  A call's result register counts as a def of
+    the calling block — the value becomes available on the arc to the
+    return continuation, which block-level liveness cannot distinguish
+    from the block's own writes. *)
+
+open Ir
+
+type t = {
+  live_in : Bitset.t array;
+  live_out : Bitset.t array;
+  use : Bitset.t array;
+  def : Bitset.t array;
+  iterations : int;
+}
+
+val of_func : Prog.func -> t
+(** Universe size is the function's [nregs]; [Ret] blocks are the
+    dataflow boundary with an empty live-out. *)
+
+val dead_stores : Prog.func -> t -> (Cfg.label * Insn.reg) list
+(** Registers written by a block but neither read later inside it nor
+    live out of it — a per-block over-approximation useful as a lint
+    ingredient and a framework sanity check. *)

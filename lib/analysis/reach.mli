@@ -1,0 +1,20 @@
+(** Block reachability as an analysis pass — the single definition of a
+    statically dead block, delegating to the canonical {!Ir.Cfg.reachable}
+    (which the simplifier's unreachable sweep also uses).  The linter and
+    the fuzzer cross-check both consume this pass. *)
+
+open Ir
+
+val blocks : Cfg.block array -> bool array
+(** [Ir.Cfg.reachable]. *)
+
+val func : Prog.func -> bool array
+
+val unreachable : Prog.func -> Cfg.label list
+(** Statically dead blocks, in label order. *)
+
+val as_dataflow : Prog.func -> Dataflow.solution
+(** Reachability phrased as the forward-Union dataflow instance over a
+    one-bit universe: block [l] is reachable iff bit 0 is set in
+    [out.(l)].  Exists to validate the framework against the canonical
+    DFS (they must agree on every program). *)

@@ -8,6 +8,9 @@
      ([Placement.Validate], at [Full] level);
    - inline expansion preserved semantics (the original and inlined
      programs produce the same return value and output);
+   - the static linter ([Analysis.Lint]) runs without crashing on every
+     strategy's map and reports no error-severity finding (a statically
+     unreachable block carrying profile weight, a flow violation);
    - the dynamic instruction count of the recorded block trace is the
      same under every strategy's map (layout invariance);
    - a cache simulation over each map accesses exactly that many
@@ -136,6 +139,29 @@ let check_program ?(strategies = Placement.Strategy.all)
             match strategy_diags @ map_diags with
             | _ :: _ as ds -> ds
             | [] -> (
+              (* The static linter must survive every generated program
+                 under every strategy map, and its error-severity
+                 findings (profile weight on a statically dead block,
+                 flow-conservation violations) are pipeline bugs: the
+                 simplifier sweeps unreachable blocks, so a weighted one
+                 means the CFG and the profile disagree. *)
+              let lint_diags =
+                List.concat_map
+                  (fun ((s : Placement.Strategy.t), m) ->
+                    match
+                      catching Ir.Diag.Lint (fun () ->
+                          Analysis.Lint.run
+                            (Analysis.Lint.of_pipeline
+                               ~strategy:s.Placement.Strategy.id p ~map:m
+                               ~config:sim_config))
+                    with
+                    | Error ds -> ds
+                    | Ok report -> Analysis.Lint.errors report)
+                  maps
+              in
+              match lint_diags with
+              | _ :: _ as ds -> ds
+              | [] -> (
               match
                 catching Ir.Diag.Simulation (fun () ->
                     Sim.Trace_gen.record ~fuel p.Placement.Pipeline.program
@@ -176,7 +202,7 @@ let check_program ?(strategies = Placement.Strategy.all)
                                the trace holds %d"
                               r.Sim.Driver.accesses n;
                           ])
-                  maps))))))
+                  maps)))))))
 
 let first_error ds = match Ir.Diag.errors ds with d :: _ -> Some d | [] -> None
 

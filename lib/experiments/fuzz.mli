@@ -1,7 +1,9 @@
 (** Differential layout fuzzer: seeded random programs are pushed
     through lowering, the full placement pipeline, every registered
-    layout strategy and a cache simulation, checking all pipeline
-    invariants plus cross-strategy layout invariance.  Failures are
+    layout strategy, the static linter and a cache simulation, checking
+    all pipeline invariants plus cross-strategy layout invariance (and
+    that {!Analysis.Lint} neither crashes nor finds error-severity
+    contradictions on any strategy's map).  Failures are
     shrunk to a minimal reproducer (the shrink predicate keeps the
     first violation in its original stage) and carry the generating
     seed. *)

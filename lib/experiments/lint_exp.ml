@@ -1,0 +1,160 @@
+(* impact lint backend.
+
+   Everything here rides on [Context]'s memoized artifacts: the
+   pipeline (profile + inlined program) and the per-strategy address
+   maps.  Nothing on this path records a trace or simulates a cache —
+   that is the point of the linter, and the tests pin it by asserting
+   no "simulate"/"trace-record" span appears during a lint run. *)
+
+type result = {
+  bench : string;
+  strategy : Placement.Strategy.t;
+  fell_back : bool;
+  report : Analysis.Lint.report;
+}
+
+(* Same geometry as the strategy-comparison experiment (E17), so the
+   static conflict ranking can be read against its simulated miss
+   ratios. *)
+let default_config = Icache.Config.make ~size:2048 ~block:64 ()
+
+let lint_entry ?(config = default_config) ?min_prob ?page_bytes e
+    (s : Placement.Strategy.t) =
+  let id = s.Placement.Strategy.id in
+  let p = Context.pipeline e in
+  let map = Context.strategy_map e s in
+  let input =
+    Analysis.Lint.of_pipeline ?min_prob ?page_bytes ~strategy:id p ~map
+      ~config
+  in
+  {
+    bench = Context.name e;
+    strategy = s;
+    fell_back = Context.fell_back e id;
+    report = Analysis.Lint.run input;
+  }
+
+let sweep ?config ?min_prob ?page_bytes e =
+  List.map
+    (fun s -> lint_entry ?config ?min_prob ?page_bytes e s)
+    Placement.Strategy.all
+
+(* Best first: fewer static conflicts, then fewer broken hot arcs. *)
+let rank results =
+  List.stable_sort
+    (fun a b ->
+      match
+        compare a.report.Analysis.Lint.conflict_score
+          b.report.Analysis.Lint.conflict_score
+      with
+      | 0 ->
+        compare a.report.Analysis.Lint.hot_arc_broken
+          b.report.Analysis.Lint.hot_arc_broken
+      | c -> c)
+    results
+
+let broken_pct (r : Analysis.Lint.report) =
+  if r.Analysis.Lint.hot_arc_total = 0 then 0.
+  else
+    float_of_int r.Analysis.Lint.hot_arc_broken
+    /. float_of_int r.Analysis.Lint.hot_arc_total
+
+let strategy_cell r =
+  let id = r.strategy.Placement.Strategy.id in
+  if r.fell_back then id ^ " (fallback: natural)" else id
+
+let ranking_table bench results =
+  let rows =
+    List.mapi
+      (fun i r ->
+        [
+          string_of_int (i + 1);
+          strategy_cell r;
+          Printf.sprintf "%.3f" r.report.Analysis.Lint.conflict_score;
+          Report.Fmtutil.pct (broken_pct r.report);
+          string_of_int
+            (List.length (Analysis.Lint.errors r.report));
+          string_of_int
+            (List.length (Analysis.Lint.warnings r.report));
+        ])
+      (rank results)
+  in
+  Report.Table.make
+    ~title:
+      (Printf.sprintf
+         "Static lint ranking for %s at %s: lower conflict score and \
+          fewer broken hot arcs predict a better layout (no simulation)"
+         bench
+         (Icache.Config.describe default_config))
+    ~header:
+      [ "rank"; "strategy"; "conflict"; "hot arcs broken"; "errors";
+        "warnings" ]
+    ~align:Report.Table.[ R; L; R; R; R; R ]
+    rows
+
+let summary r =
+  let rep = r.report in
+  let by_pass =
+    String.concat "  "
+      (List.map
+         (fun (p, n) -> Printf.sprintf "%s=%d" p n)
+         rep.Analysis.Lint.by_pass)
+  in
+  Printf.sprintf
+    "%s/%s: %d finding(s) [%s]  conflict score %.3f  hot arcs broken \
+     %d/%d (%s)"
+    r.bench (strategy_cell r)
+    (List.length rep.Analysis.Lint.findings)
+    by_pass rep.Analysis.Lint.conflict_score
+    rep.Analysis.Lint.hot_arc_broken rep.Analysis.Lint.hot_arc_total
+    (Report.Fmtutil.pct (broken_pct rep))
+
+(* ------------------------------------------------------------------ *)
+(* JSON (schema impact.lint/v1)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let finding_json (f : Analysis.Lint.finding) =
+  let opt conv = function None -> Obs.Json.Null | Some v -> conv v in
+  Obs.Json.Obj
+    [
+      ("pass", Obs.Json.String f.Analysis.Lint.pass);
+      ( "severity",
+        Obs.Json.String
+          (Ir.Diag.severity_name f.Analysis.Lint.diag.Ir.Diag.severity) );
+      ( "func",
+        opt (fun s -> Obs.Json.String s) f.Analysis.Lint.diag.Ir.Diag.func );
+      ( "block",
+        opt (fun b -> Obs.Json.Int b) f.Analysis.Lint.diag.Ir.Diag.block );
+      ("message", Obs.Json.String f.Analysis.Lint.diag.Ir.Diag.message);
+      ("score", Obs.Json.Float f.Analysis.Lint.score);
+    ]
+
+let result_json r =
+  let rep = r.report in
+  Obs.Json.Obj
+    [
+      ("bench", Obs.Json.String r.bench);
+      ("strategy", Obs.Json.String r.strategy.Placement.Strategy.id);
+      ("fell_back", Obs.Json.Bool r.fell_back);
+      ("conflict_score", Obs.Json.Float rep.Analysis.Lint.conflict_score);
+      ( "hot_arcs",
+        Obs.Json.Obj
+          [
+            ("total", Obs.Json.Int rep.Analysis.Lint.hot_arc_total);
+            ("broken", Obs.Json.Int rep.Analysis.Lint.hot_arc_broken);
+          ] );
+      ( "by_pass",
+        Obs.Json.Obj
+          (List.map
+             (fun (p, n) -> (p, Obs.Json.Int n))
+             rep.Analysis.Lint.by_pass) );
+      ( "findings",
+        Obs.Json.List (List.map finding_json rep.Analysis.Lint.findings) );
+    ]
+
+let report_json ~results =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "impact.lint/v1");
+      ("results", Obs.Json.List (List.map result_json results));
+    ]

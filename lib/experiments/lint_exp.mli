@@ -1,0 +1,48 @@
+(** Backend of [impact lint]: run the static layout linter
+    ({!Analysis.Lint}) over a context entry's pipeline under one or all
+    registered layout strategies — sharing the memoized pipeline and
+    strategy maps, and touching nothing on the simulation side — and
+    render the outcome as text, a ranking table, or JSON. *)
+
+type result = {
+  bench : string;
+  strategy : Placement.Strategy.t;
+  fell_back : bool;  (** the strategy degraded to the natural layout *)
+  report : Analysis.Lint.report;
+}
+
+val default_config : Icache.Config.t
+(** The paper's 2KB/64B direct-mapped design point — the same geometry
+    the strategy-comparison experiment (E17) simulates, so static
+    conflict scores are comparable with its miss ratios. *)
+
+val lint_entry :
+  ?config:Icache.Config.t ->
+  ?min_prob:float ->
+  ?page_bytes:int ->
+  Context.entry ->
+  Placement.Strategy.t ->
+  result
+
+val sweep :
+  ?config:Icache.Config.t ->
+  ?min_prob:float ->
+  ?page_bytes:int ->
+  Context.entry ->
+  result list
+(** One {!result} per registered strategy, registry order. *)
+
+val rank : result list -> result list
+(** Best layout first: ascending static conflict score, ties broken by
+    broken-hot-arc weight, then registry order (stable). *)
+
+val ranking_table : string -> result list -> Report.Table.t
+(** Sweep results of one benchmark as a ranking table. *)
+
+val summary : result -> string
+(** One-line per-pass counts + aggregate scores. *)
+
+val result_json : result -> Obs.Json.t
+
+val report_json : results:result list -> Obs.Json.t
+(** Top-level [impact.lint/v1] document. *)

@@ -65,6 +65,24 @@ let successors b =
   | Ret _ -> []
   | Call { ret_to; _ } -> [ ret_to ]
 
+(* Canonical block reachability: the one definition of a statically dead
+   block, shared by the simplifier's unreachable sweep, the analysis
+   library ([Analysis.Reach]) and the layout linter.  Depth-first from
+   the entry block (label 0). *)
+let reachable (blocks : block array) : bool array =
+  let n = Array.length blocks in
+  let reach = Array.make n false in
+  if n > 0 then begin
+    let rec visit l =
+      if not reach.(l) then begin
+        reach.(l) <- true;
+        List.iter visit (successors blocks.(l))
+      end
+    in
+    visit 0
+  end;
+  reach
+
 let callee b =
   match b.term with
   | Call { callee; _ } -> Some callee

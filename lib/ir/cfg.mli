@@ -44,6 +44,13 @@ val successors : block -> label list
 (** Intra-function successors, deduplicated, in terminator order.  A call's
     only intra-function successor is its return continuation. *)
 
+val reachable : block array -> bool array
+(** Blocks reachable from the entry block (label [0]).  This is the
+    canonical definition of a statically dead block: the simplifier's
+    unreachable sweep, the [Analysis.Reach] pass and the layout linter
+    all route through it.  Labels out of range never appear — run
+    {!Check} first on untrusted input. *)
+
 val callee : block -> string option
 (** Callee name when the block ends in a call. *)
 

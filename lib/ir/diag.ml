@@ -23,6 +23,7 @@ type stage =
   | Address_map (* address assignment invariants *)
   | Simulation
   | Strategy (* a layout strategy misbehaved or fell back *)
+  | Lint (* static layout/cache-conflict linter finding *)
   | Usage (* bad CLI input, unknown entities *)
 
 type t = {
@@ -45,13 +46,14 @@ let stage_name = function
   | Address_map -> "address-map"
   | Simulation -> "simulation"
   | Strategy -> "strategy"
+  | Lint -> "lint"
   | Usage -> "usage"
 
 let severity_name = function Warning -> "warning" | Error -> "error"
 
 (* Deterministic per-stage exit codes, documented in the README.  0 is
    success and 1 the generic uncategorized failure; 2 is reserved for
-   usage errors, the pipeline stages own 10..17. *)
+   usage errors, the pipeline stages own 10..17 and the linter 18. *)
 let exit_code t =
   match t.stage with
   | Usage -> 2
@@ -63,6 +65,7 @@ let exit_code t =
   | Address_map -> 15
   | Simulation -> 16
   | Strategy -> 17
+  | Lint -> 18
 
 let make ?(severity = Error) ~stage ?func ?block ?strategy fmt =
   Fmt.kstr

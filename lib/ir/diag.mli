@@ -14,6 +14,7 @@ type stage =
   | Address_map
   | Simulation
   | Strategy
+  | Lint
   | Usage
 
 type t = {
@@ -34,7 +35,7 @@ val exit_code : t -> int
 (** Deterministic per-stage process exit code: usage errors exit 2, the
     pipeline stages own 10..17 (lower=10, structure=11, profile=12,
     trace-selection=13, layout=14, address-map=15, simulation=16,
-    strategy=17). *)
+    strategy=17) and the static linter owns 18. *)
 
 val make :
   ?severity:severity ->

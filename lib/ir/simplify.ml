@@ -59,17 +59,11 @@ let thread_jumps (blocks : Cfg.block array) =
     blocks
 
 (* Drop blocks unreachable from the entry, compacting labels (entry stays
-   0). *)
+   0).  Reachability comes from the canonical [Cfg.reachable], shared
+   with [Analysis.Reach] and the layout linter. *)
 let sweep_unreachable (blocks : Cfg.block array) =
   let n = Array.length blocks in
-  let reach = Array.make n false in
-  let rec visit l =
-    if not reach.(l) then begin
-      reach.(l) <- true;
-      List.iter visit (Cfg.successors blocks.(l))
-    end
-  in
-  visit 0;
+  let reach = Cfg.reachable blocks in
   let remap = Array.make n (-1) in
   let next = ref 0 in
   for l = 0 to n - 1 do

@@ -24,19 +24,13 @@ let gcd_func =
       ret (v "a");
     ]
 
-(* A classic diamond-with-loop function used by placement tests:
-
-       0 (entry)
-       |
-       1 <------+
-      / \       |
-     2   3      |
-      \ /       |
-       4 -------+
-       |
-       5 (exit)
-
-   Block 1 is the loop head; 2 is the hot arm, 3 the cold arm. *)
+(* A loop fixture used by placement tests.  The CFG itself is the plain
+   loop 0 -> 1 <-> {2 -> 4} with exit 1 -> 5; block 3 has no incoming
+   CFG edge.  The diamond shape lives entirely in [diamond_weights],
+   whose hand-built arcs route a cold path 1 -> 3 -> 4 alongside the hot
+   1 -> 2 -> 4 — the placement algorithms consume only those weights, so
+   the tests exercise a hot/cold arm split without the CFG having one.
+   (For a CFG-level diamond see test_analysis.ml.) *)
 let diamond_loop_func : Ir.Prog.func =
   let b insns term = Ir.Cfg.mk_block (Array.of_list insns) term in
   {

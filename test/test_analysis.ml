@@ -1,0 +1,450 @@
+(* Static-analysis layer: dominators/post-dominators on hand-built CFGs
+   (including an irreducible one), natural-loop nesting, register
+   liveness, the reachability unification, a dominator/reachability
+   consistency property over generated programs, and the layout linter
+   (hand-built error input, golden output on the cmp benchmark, static
+   ranking, and the no-simulation guarantee). *)
+
+open Ir
+
+let b insns term = Cfg.mk_block (Array.of_list insns) term
+
+(* A genuine diamond inside a loop (unlike [Helpers.diamond_loop_func],
+   whose cold arm exists only in its hand-built weights):
+
+       0
+       |
+       1 <----+        (loop header; 1 -> 6 exits)
+       |      |
+       2      |        (diamond head)
+      / \     |
+     3   4    |
+      \ /     |
+       5 -----+        (join + latch)
+       |
+       6 (exit)                                                  *)
+let diamond : Prog.func =
+  {
+    Prog.name = "diamond";
+    nparams = 1;
+    nregs = 4;
+    blocks =
+      [|
+        b [ Insn.Mov (1, Imm 0) ] (Jump 1);
+        b [ Insn.Bin (Lt, 2, Reg 1, Reg 0) ] (Br (Insn.Reg 2, 2, 6));
+        b [ Insn.Bin (Lt, 2, Reg 3, Reg 1) ] (Br (Insn.Reg 2, 3, 4));
+        b [ Insn.Bin (Add, 3, Reg 3, Reg 1) ] (Jump 5);
+        b [ Insn.Bin (Sub, 3, Reg 3, Reg 1) ] (Jump 5);
+        b [ Insn.Bin (Add, 1, Reg 1, Imm 1) ] (Jump 1);
+        b [] (Ret (Some (Insn.Reg 3)));
+      |];
+  }
+
+(* Entry jumps straight to the exit; block 1 is statically dead. *)
+let dead_block_func : Prog.func =
+  {
+    Prog.name = "deadblock";
+    nparams = 0;
+    nregs = 1;
+    blocks = [| b [] (Jump 2); b [] (Jump 2); b [] (Ret None) |];
+  }
+
+(* The classic irreducible shape: a two-entry cycle {1,2}.
+
+       0 -> 1 -> 2 -> {1, 3}
+       0 -> 2                                                    *)
+let irreducible_func : Prog.func =
+  {
+    Prog.name = "irreducible";
+    nparams = 1;
+    nregs = 1;
+    blocks =
+      [|
+        b [] (Br (Insn.Reg 0, 1, 2));
+        b [] (Jump 2);
+        b [] (Br (Insn.Reg 0, 1, 3));
+        b [] (Ret None);
+      |];
+  }
+
+(* Two properly nested natural loops: outer header 1 (latch 4), inner
+   header 2 (latch 3). *)
+let nested_loops_func : Prog.func =
+  {
+    Prog.name = "nested";
+    nparams = 0;
+    nregs = 1;
+    blocks =
+      [|
+        b [ Insn.Mov (0, Imm 0) ] (Jump 1);
+        b [] (Br (Insn.Reg 0, 2, 5));
+        b [] (Br (Insn.Reg 0, 3, 4));
+        b [] (Jump 2);
+        b [] (Jump 1);
+        b [] (Ret None);
+      |];
+  }
+
+let labels n = List.init n Fun.id
+
+(* --- dominators ------------------------------------------------------ *)
+
+let dominators_diamond () =
+  let dom = Analysis.Dom.dominators diamond in
+  Alcotest.(check (list int))
+    "idom per block" [ 0; 0; 1; 2; 2; 2; 1 ]
+    (Array.to_list dom.Analysis.Dom.idom);
+  Alcotest.(check bool) "loop head dominates latch" true
+    (Analysis.Dom.dominates dom 1 5);
+  Alcotest.(check bool) "arm does not dominate join" false
+    (Analysis.Dom.dominates dom 3 5);
+  Alcotest.(check bool) "reflexive" true (Analysis.Dom.dominates dom 3 3);
+  Alcotest.(check (list int))
+    "dom_set walks to the root" [ 5; 2; 1; 0 ] (Analysis.Dom.dom_set dom 5);
+  Alcotest.(check int) "depth of join" 3 (Analysis.Dom.depth dom 5);
+  Alcotest.(check int) "depth of entry" 0 (Analysis.Dom.depth dom 0);
+  Alcotest.(check (option int))
+    "no virtual exit on a dominator tree" None (Analysis.Dom.virtual_exit dom)
+
+let post_dominators_diamond () =
+  let pdom = Analysis.Dom.post_dominators diamond in
+  let exit = Array.length diamond.Prog.blocks in
+  Alcotest.(check (option int))
+    "virtual exit" (Some exit)
+    (Analysis.Dom.virtual_exit pdom);
+  (* Both arms rejoin at 5; the loop can only leave through the header,
+     so the header's immediate post-dominator is the real exit block. *)
+  Alcotest.(check (list int))
+    "ipdom per block (virtual exit last)" [ 1; 6; 5; 5; 5; 1; exit; exit ]
+    (Array.to_list pdom.Analysis.Dom.idom);
+  Alcotest.(check bool) "exit block post-dominates loop head" true
+    (Analysis.Dom.dominates pdom 6 1);
+  Alcotest.(check bool) "hot arm does not post-dominate diamond head" false
+    (Analysis.Dom.dominates pdom 3 2)
+
+let dominators_dead_blocks () =
+  let dom = Analysis.Dom.dominators dead_block_func in
+  Alcotest.(check int) "dead block disconnected" (-1)
+    dom.Analysis.Dom.idom.(1);
+  Alcotest.(check bool) "nothing dominates a dead block" false
+    (Analysis.Dom.dominates dom 0 1);
+  Alcotest.(check (list int)) "empty dom_set" [] (Analysis.Dom.dom_set dom 1);
+  Alcotest.(check int) "depth is -1" (-1) (Analysis.Dom.depth dom 1)
+
+(* --- loops ----------------------------------------------------------- *)
+
+let loop_nesting () =
+  let t = Analysis.Loops.of_func nested_loops_func in
+  Alcotest.(check bool) "reducible" true t.Analysis.Loops.reducible;
+  Alcotest.(check int) "two loops" 2 (Array.length t.Analysis.Loops.loops);
+  let outer = t.Analysis.Loops.loops.(0)
+  and inner = t.Analysis.Loops.loops.(1) in
+  Alcotest.(check int) "outer header" 1 outer.Analysis.Loops.header;
+  Alcotest.(check (list int))
+    "outer body" [ 1; 2; 3; 4 ] outer.Analysis.Loops.body;
+  Alcotest.(check (list int)) "outer latch" [ 4 ] outer.Analysis.Loops.latches;
+  Alcotest.(check int) "outer depth" 1 outer.Analysis.Loops.depth;
+  Alcotest.(check (option int))
+    "outer has no parent" None outer.Analysis.Loops.parent;
+  Alcotest.(check int) "inner header" 2 inner.Analysis.Loops.header;
+  Alcotest.(check (list int)) "inner body" [ 2; 3 ] inner.Analysis.Loops.body;
+  Alcotest.(check int) "inner depth" 2 inner.Analysis.Loops.depth;
+  Alcotest.(check (option int))
+    "inner nests in outer" (Some 0) inner.Analysis.Loops.parent;
+  Alcotest.(check (list int))
+    "depth_of per block" [ 0; 1; 2; 2; 1; 0 ]
+    (Array.to_list t.Analysis.Loops.depth_of);
+  Alcotest.(check (list int))
+    "loop_of per block" [ -1; 0; 1; 1; 0; -1 ]
+    (Array.to_list t.Analysis.Loops.loop_of);
+  (* The diamond has exactly one loop: header 1, body everything but the
+     entry and the exit, latch 5. *)
+  let d = Analysis.Loops.of_func diamond in
+  Alcotest.(check int) "diamond has one loop" 1
+    (Array.length d.Analysis.Loops.loops);
+  Alcotest.(check (list int))
+    "diamond loop body" [ 1; 2; 3; 4; 5 ] (Analysis.Loops.blocks_of d 0);
+  Alcotest.(check (list int))
+    "diamond latch" [ 5 ]
+    d.Analysis.Loops.loops.(0).Analysis.Loops.latches
+
+let irreducible_detected () =
+  let t = Analysis.Loops.of_func irreducible_func in
+  Alcotest.(check bool) "not reducible" false t.Analysis.Loops.reducible;
+  Alcotest.(check int) "no natural loops" 0
+    (Array.length t.Analysis.Loops.loops);
+  Alcotest.(check (list (pair int int)))
+    "witness edge closes the two-entry cycle" [ (2, 1) ]
+    t.Analysis.Loops.irreducible_edges;
+  (* The reducible fixtures report no witnesses. *)
+  Alcotest.(check (list (pair int int)))
+    "diamond reducible" []
+    (Analysis.Loops.of_func diamond).Analysis.Loops.irreducible_edges
+
+(* --- liveness -------------------------------------------------------- *)
+
+let elems s = Analysis.Bitset.elements s
+
+let liveness_diamond () =
+  let t = Analysis.Live.of_func diamond in
+  (* r0 (the parameter bound) and r3 (the accumulator, read before any
+     write on the loop path) are live into the entry; r1 is defined
+     there first. *)
+  Alcotest.(check (list int))
+    "live into entry" [ 0; 3 ]
+    (elems t.Analysis.Live.live_in.(0));
+  Alcotest.(check (list int))
+    "live out of loop head" [ 0; 1; 3 ]
+    (elems t.Analysis.Live.live_out.(1));
+  Alcotest.(check (list int))
+    "only the result lives into the exit" [ 3 ]
+    (elems t.Analysis.Live.live_in.(6));
+  Alcotest.(check (list int))
+    "exit is the boundary" []
+    (elems t.Analysis.Live.live_out.(6));
+  (* Block-local use/def of the diamond head: reads r3 and r1, defines
+     the comparison result r2 (read only by its own terminator, after
+     the def). *)
+  Alcotest.(check (list int))
+    "use of diamond head" [ 1; 3 ]
+    (elems t.Analysis.Live.use.(2));
+  Alcotest.(check (list int))
+    "def of diamond head" [ 2 ]
+    (elems t.Analysis.Live.def.(2))
+
+let dead_stores () =
+  let f : Prog.func =
+    {
+      Prog.name = "deadstore";
+      nparams = 0;
+      nregs = 1;
+      blocks =
+        [|
+          b
+            [ Insn.Mov (0, Imm 1); Insn.Mov (0, Imm 2) ]
+            (Ret (Some (Insn.Reg 0)));
+        |];
+    }
+  in
+  let t = Analysis.Live.of_func f in
+  Alcotest.(check (list (pair int int)))
+    "the overwritten store is dead" [ (0, 0) ]
+    (Analysis.Live.dead_stores f t);
+  Alcotest.(check (list (pair int int)))
+    "no dead stores in the diamond" []
+    (Analysis.Live.dead_stores diamond (Analysis.Live.of_func diamond))
+
+(* --- reachability unification ---------------------------------------- *)
+
+let reach_unified () =
+  Alcotest.(check (list int))
+    "dead block found" [ 1 ]
+    (Analysis.Reach.unreachable dead_block_func);
+  (* One definition of "dead block": the pass is the canonical
+     [Ir.Cfg.reachable] that the simplifier sweeps with. *)
+  List.iter
+    (fun (f : Prog.func) ->
+      Alcotest.(check (list bool))
+        ("agrees with Cfg.reachable on " ^ f.Prog.name)
+        (Array.to_list (Cfg.reachable f.Prog.blocks))
+        (Array.to_list (Analysis.Reach.func f)))
+    [ diamond; dead_block_func; irreducible_func; nested_loops_func ];
+  (* ... and the dataflow phrasing of the same fact agrees with the
+     DFS. *)
+  List.iter
+    (fun (f : Prog.func) ->
+      let reach = Analysis.Reach.func f in
+      let df = Analysis.Reach.as_dataflow f in
+      List.iter
+        (fun l ->
+          Alcotest.(check bool)
+            (Printf.sprintf "dataflow reach of %s.b%d" f.Prog.name l)
+            reach.(l)
+            (not (Analysis.Bitset.is_empty df.Analysis.Dataflow.out.(l))))
+        (labels (Array.length f.Prog.blocks)))
+    [ diamond; dead_block_func; irreducible_func ]
+
+(* --- property: dominators are consistent with reachability ----------- *)
+
+let prop_dom_reach =
+  QCheck.Test.make ~name:"dominators consistent with reachability" ~count:40
+    QCheck.(make ~print:string_of_int Gen.(int_bound 100_000))
+    (fun seed ->
+      let prog = Lower.program (Gen.generate ~size:30 seed) in
+      Array.for_all
+        (fun (f : Prog.func) ->
+          let reach = Analysis.Reach.func f in
+          let dom = Analysis.Dom.dominators f in
+          let df = Analysis.Reach.as_dataflow f in
+          List.for_all
+            (fun l ->
+              (* Entry dominates exactly the reachable blocks; every
+                 dominator of a reachable block is itself reachable; the
+                 dataflow instance agrees with the DFS. *)
+              Analysis.Dom.dominates dom 0 l = reach.(l)
+              && (reach.(l) = (dom.Analysis.Dom.idom.(l) >= 0))
+              && List.for_all
+                   (fun d -> reach.(d))
+                   (Analysis.Dom.dom_set dom l)
+              && reach.(l)
+                 = not
+                     (Analysis.Bitset.is_empty df.Analysis.Dataflow.out.(l)))
+            (labels (Array.length f.Prog.blocks)))
+        prog.Prog.funcs)
+
+(* --- linter: hand-built error input ---------------------------------- *)
+
+let no_calls =
+  {
+    Placement.Weight.pair = (fun _ _ -> 0);
+    callees = (fun _ -> []);
+    entries = (fun fid -> if fid = 0 then 5 else 0);
+    size = (fun _ -> 0);
+  }
+
+let lint_dead_weight () =
+  let program = Prog.make ~entry:"deadblock" [ dead_block_func ] in
+  let weights _ =
+    Placement.Weight.cfg_of_lists ~func_weight:5
+      ~blocks:[ (0, 5); (1, 3); (2, 5) ]
+      ~arcs:[ (0, 2, 5); (1, 2, 3) ]
+  in
+  let input =
+    Analysis.Lint.make_input ~program ~weights ~calls:no_calls
+      ~map:(Placement.Address_map.natural program)
+      ~config:Experiments.Lint_exp.default_config ()
+  in
+  let report = Analysis.Lint.run input in
+  (match Analysis.Lint.errors report with
+  | [ d ] ->
+    Alcotest.(check string)
+      "weight on a dead block is a lint error"
+      "[error lint] deadblock.b1: statically unreachable block carries \
+       profile weight 3"
+      (Diag.to_string d);
+    Alcotest.(check int) "the linter owns exit code 18" 18 (Diag.exit_code d)
+  | ds -> Alcotest.failf "expected exactly one error, got %d" (List.length ds));
+  (* Under the natural map the hot entry->exit arc jumps over the dead
+     block, so the hot-arc pass fires too (as a warning). *)
+  Alcotest.(check int) "hot arc broken weight" 5
+    report.Analysis.Lint.hot_arc_broken;
+  (match report.Analysis.Lint.findings with
+  | first :: _ ->
+    Alcotest.(check string)
+      "errors sort before warnings" "unreachable" first.Analysis.Lint.pass
+  | [] -> Alcotest.fail "no findings");
+  Alcotest.(check (list (pair string int)))
+    "per-pass census"
+    [
+      ("flow", 0); ("unreachable", 1); ("hot-arc", 1); ("loop-split", 0);
+      ("set-conflict", 0);
+    ]
+    report.Analysis.Lint.by_pass
+
+(* --- linter on a real benchmark -------------------------------------- *)
+
+(* One shared context: the cmp pipeline and its strategy maps are memoized
+   across the lint test cases. *)
+let ctx = lazy (Experiments.Context.create ~names:[ "cmp" ] ())
+let cmp_entry () = List.hd (Experiments.Context.entries (Lazy.force ctx))
+
+let golden_lint_cmp () =
+  let e = cmp_entry () in
+  let r =
+    Experiments.Lint_exp.lint_entry e (Placement.Strategy.find "impact")
+  in
+  Alcotest.(check string) "summary line"
+    "cmp/impact: 1 finding(s) [flow=0  unreachable=0  hot-arc=0  \
+     loop-split=0  set-conflict=1]  conflict score 5.875  hot arcs broken \
+     0/488774 (0.00%)"
+    (Experiments.Lint_exp.summary r);
+  (match r.Experiments.Lint_exp.report.Analysis.Lint.findings with
+  | [ f ] ->
+    Alcotest.(check string) "pass" "set-conflict" f.Analysis.Lint.pass;
+    Alcotest.(check string) "finding"
+      "[warning lint] put_octal3 <impact>: hot lines of put_octal3 and \
+       main co-map to 1 of 32 cache sets (188 dynamic calls between them)"
+      (Diag.to_string f.Analysis.Lint.diag)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs));
+  (* The JSON report round-trips through the strict parser. *)
+  let json =
+    Obs.Json.parse_exn
+      (Obs.Json.to_string (Experiments.Lint_exp.report_json ~results:[ r ]))
+  in
+  (match Obs.Json.member "schema" json with
+  | Some (Obs.Json.String s) ->
+    Alcotest.(check string) "schema" "impact.lint/v1" s
+  | _ -> Alcotest.fail "schema missing");
+  match Option.bind (Obs.Json.member "results" json) Obs.Json.to_list with
+  | Some [ _ ] -> ()
+  | _ -> Alcotest.fail "results should hold exactly the one linted strategy"
+
+let lint_ranking_no_simulation () =
+  let e = cmp_entry () in
+  (* Force the memoized pipeline and maps first, so the spans recorded
+     below belong to the lint run alone. *)
+  List.iter
+    (fun s -> ignore (Experiments.Context.strategy_map e s))
+    Placement.Strategy.all;
+  Obs.Span.set_enabled true;
+  Obs.Span.reset ();
+  let results = Experiments.Lint_exp.sweep e in
+  let events = Obs.Span.events () in
+  Obs.Span.set_enabled false;
+  Obs.Span.reset ();
+  (* Zero simulation on the lint path: no trace replay, no cache model. *)
+  List.iter
+    (fun (ev : Obs.Span.event) ->
+      if
+        List.exists
+          (fun banned ->
+            String.length ev.Obs.Span.name >= String.length banned
+            && String.sub ev.Obs.Span.name 0 (String.length banned) = banned)
+          [ "simulate"; "trace-record"; "pipeline" ]
+      then Alcotest.failf "lint ran a dynamic stage: %s" ev.Obs.Span.name)
+    events;
+  List.iter
+    (fun pass ->
+      Alcotest.(check bool)
+        (Printf.sprintf "span for lint.%s recorded" pass)
+        true
+        (List.exists
+           (fun (ev : Obs.Span.event) -> ev.Obs.Span.name = "lint." ^ pass)
+           events))
+    Analysis.Lint.pass_names;
+  (* Static ranking: the profile-guided placement must statically beat
+     the natural order, matching the simulated miss-ratio ordering. *)
+  let ids =
+    List.map
+      (fun (r : Experiments.Lint_exp.result) ->
+        r.Experiments.Lint_exp.strategy.Placement.Strategy.id)
+      (Experiments.Lint_exp.rank results)
+  in
+  let pos id =
+    match List.find_index (String.equal id) ids with
+    | Some i -> i
+    | None -> Alcotest.failf "strategy %s missing from ranking" id
+  in
+  Alcotest.(check int) "all five strategies ranked" 5 (List.length ids);
+  Alcotest.(check bool) "impact statically beats natural" true
+    (pos "impact" < pos "natural")
+
+let suite =
+  [
+    Alcotest.test_case "dominators: diamond" `Quick dominators_diamond;
+    Alcotest.test_case "post-dominators: diamond" `Quick
+      post_dominators_diamond;
+    Alcotest.test_case "dominators: dead blocks" `Quick
+      dominators_dead_blocks;
+    Alcotest.test_case "loop nesting" `Quick loop_nesting;
+    Alcotest.test_case "irreducible graph" `Quick irreducible_detected;
+    Alcotest.test_case "liveness: diamond" `Quick liveness_diamond;
+    Alcotest.test_case "dead stores" `Quick dead_stores;
+    Alcotest.test_case "reachability unified" `Quick reach_unified;
+    QCheck_alcotest.to_alcotest prop_dom_reach;
+    Alcotest.test_case "lint: dead weight is an error" `Quick
+      lint_dead_weight;
+    Alcotest.test_case "lint: golden cmp/impact" `Quick golden_lint_cmp;
+    Alcotest.test_case "lint: ranking, zero simulation" `Quick
+      lint_ranking_no_simulation;
+  ]

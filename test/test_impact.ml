@@ -22,4 +22,5 @@ let () =
       ("fast_sim", Test_fast_sim.suite);
       ("shapes", Test_shapes.suite);
       ("obs", Test_obs.suite);
+      ("analysis", Test_analysis.suite);
     ]
