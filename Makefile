@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make ci` on every PR.
 
-.PHONY: all build test bench bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke ci clean
+.PHONY: all build test bench bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke par-smoke ci clean
 
 all: build
 
@@ -59,7 +59,23 @@ lint-smoke:
 	test -s _obs/lint-metrics.txt
 	dune exec bin/checkjson.exe -- _obs/lint.json
 
-ci: build test bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke
+# Parallel bit-identity: the same table and the same quiet fuzz
+# campaign at -j 1 and -j 2 must produce byte-identical output (rows,
+# failures, everything on stdout).
+par-smoke:
+	rm -rf _par && mkdir -p _par
+	dune exec bin/main.exe -- table strategy-comparison -b cmp,wc -j 1 \
+	  > _par/table-j1.txt
+	dune exec bin/main.exe -- table strategy-comparison -b cmp,wc -j 2 \
+	  > _par/table-j2.txt
+	cmp _par/table-j1.txt _par/table-j2.txt
+	dune exec bin/fuzz.exe -- --seed 1 --count 200 --quiet -j 1 \
+	  > _par/fuzz-j1.txt
+	dune exec bin/fuzz.exe -- --seed 1 --count 200 --quiet -j 2 \
+	  > _par/fuzz-j2.txt
+	cmp _par/fuzz-j1.txt _par/fuzz-j2.txt
+
+ci: build test bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke par-smoke
 
 clean:
 	dune clean

@@ -21,9 +21,11 @@ let say fmt = Printf.printf (fmt ^^ "\n%!")
 
 let only_ids : string list option ref = ref None
 let bench_names : string list option ref = ref None
+let jobs = ref (Domain.recommended_domain_count ())
+let compare_serial = ref false
 
 (* Machine-readable report destination; empty string disables it. *)
-let out_file = ref "BENCH_pr4.json"
+let out_file = ref "BENCH_pr6.json"
 
 let split_csv s = String.split_on_char ',' s |> List.filter (( <> ) "")
 
@@ -54,12 +56,31 @@ let parse_cli () =
       ( "--out",
         Arg.Set_string out_file,
         "FILE  Write the machine-readable bench report to FILE (default \
-         BENCH_pr4.json; empty disables)" );
+         BENCH_pr6.json; empty disables)" );
+      ( "-j",
+        Arg.Int
+          (fun n ->
+            if n < 1 then raise (Arg.Bad "-j must be >= 1");
+            jobs := n),
+        "N  Run the table regeneration over N domains (default: the \
+         number of cores; 1 = the serial path)" );
+      ( "--jobs",
+        Arg.Int
+          (fun n ->
+            if n < 1 then raise (Arg.Bad "--jobs must be >= 1");
+            jobs := n),
+        "N  Same as -j" );
+      ( "--compare-serial",
+        Arg.Set compare_serial,
+        "  First regenerate every table serially (no pool), then again \
+         under -j; assert the rendered tables are identical and report \
+         the speedup" );
     ]
   in
   Arg.parse spec
     (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
-    "bench/main.exe [--only t6,t8] [--benchmarks wc,grep] [--out FILE]"
+    "bench/main.exe [--only t6,t8] [--benchmarks wc,grep] [--out FILE] \
+     [-j N] [--compare-serial]"
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: table regeneration                                          *)
@@ -80,13 +101,13 @@ let regenerate_tables specs names =
      times below measure table computation, not lazy pipeline builds —
      and so the report can carry a per-benchmark build cost. *)
   let bench_seconds =
-    List.map
+    Experiments.Context.map_entries
       (fun e ->
         let t = Unix.gettimeofday () in
         ignore (Experiments.Context.pipeline e);
         ignore (Experiments.Context.trace e);
         (Experiments.Context.name e, Unix.gettimeofday () -. t))
-      (Experiments.Context.entries ctx)
+      ctx
   in
   let outcomes =
     List.map
@@ -99,10 +120,52 @@ let regenerate_tables specs names =
         o)
       specs
   in
+  let elapsed = Unix.gettimeofday () -. t0 in
   say "";
   say "=== %d experiment(s) regenerated in %.1fs ===" (List.length specs)
-    (Unix.gettimeofday () -. t0);
-  (ctx, bench_seconds, outcomes)
+    elapsed;
+  (ctx, bench_seconds, outcomes, elapsed)
+
+(* --compare-serial reference pass: the same tables on a fresh context
+   with no pool, unrendered.  Runs before the default pool exists, so
+   every consumer takes its serial path. *)
+let serial_reference specs names =
+  say "";
+  say "=== --compare-serial: serial reference pass (no pool) ===";
+  let t0 = Unix.gettimeofday () in
+  let ctx = Experiments.Context.create ?names () in
+  let outcomes =
+    List.map (fun spec -> Experiments.Runner.run_spec ctx spec) specs
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  say "=== serial reference: %d experiment(s) in %.1fs ==="
+    (List.length specs) elapsed;
+  (outcomes, elapsed)
+
+(* Bit-identity assertion between the serial reference tables and the
+   parallel run's: title, header and every row must match exactly. *)
+let assert_identical_tables serial parallel =
+  List.iter2
+    (fun (s : Experiments.Runner.outcome) (p : Experiments.Runner.outcome) ->
+      let st = s.Experiments.Runner.table
+      and pt = p.Experiments.Runner.table in
+      let same =
+        Report.Table.title st = Report.Table.title pt
+        && Report.Table.header st = Report.Table.header pt
+        && Report.Table.rows st = Report.Table.rows pt
+      in
+      if not same then begin
+        Printf.eprintf
+          "FATAL: table %s diverged between -j 1 and -j %d\n--- serial\n\
+           %s--- parallel\n%s"
+          s.Experiments.Runner.spec.Experiments.Runner.id !jobs
+          (Report.Table.render st) (Report.Table.render pt);
+        exit 1
+      end)
+    serial parallel;
+  say "";
+  say "=== --compare-serial: all %d table(s) identical at -j 1 and -j %d ==="
+    (List.length serial) !jobs
 
 (* ------------------------------------------------------------------ *)
 (* Engine comparison: the seed's per-config word-granular replay vs the
@@ -211,8 +274,8 @@ let telemetry_overhead ctx =
 (* Machine-readable bench report (impact.bench/v1)                     *)
 (* ------------------------------------------------------------------ *)
 
-let write_report path ~names ~bench_seconds ~outcomes ~total_seconds ~engine
-    ~overhead =
+let write_report path ~names ~bench_seconds ~outcomes ~total_seconds
+    ~domains ~serial_seconds ~parallel_speedup ~engine ~overhead =
   let num f = Obs.Json.Float f in
   let hits = Obs.Metrics.value Experiments.Context.memo_hits in
   let misses = Obs.Metrics.value Experiments.Context.memo_misses in
@@ -245,6 +308,16 @@ let write_report path ~names ~bench_seconds ~outcomes ~total_seconds ~engine
                    ])
                outcomes) );
         ("total_seconds", num total_seconds);
+        (* Additive since impact.bench/v1 gained the parallel run:
+           [domains] is the -j lane count and the two optional fields
+           come from --compare-serial (Null otherwise). *)
+        ("domains", Obs.Json.Int domains);
+        ( "serial_seconds",
+          match serial_seconds with None -> Obs.Json.Null | Some s -> num s );
+        ( "parallel_speedup",
+          match parallel_speedup with
+          | None -> Obs.Json.Null
+          | Some s -> num s );
         ( "engine",
           match engine with
           | None -> Obs.Json.Null
@@ -532,8 +605,37 @@ let () =
           exit 2
         end)
       ns);
+  (* The serial reference runs before the default pool exists; the
+     normal pass then runs under -j N (a 1-lane run never builds a
+     pool, keeping the serial path byte for byte). *)
+  let serial =
+    if !compare_serial then Some (serial_reference specs !bench_names)
+    else None
+  in
+  let pool = if !jobs > 1 then Some (Placement.Pool.create !jobs) else None in
+  Placement.Pool.set_default pool;
+  Fun.protect
+    ~finally:(fun () ->
+      Placement.Pool.set_default None;
+      Option.iter Placement.Pool.shutdown pool)
+  @@ fun () ->
+  say "";
+  say "=== running with -j %d (%s) ===" !jobs
+    (if !jobs > 1 then "domain pool" else "serial path");
   let t_run0 = Unix.gettimeofday () in
-  let ctx, bench_seconds, outcomes = regenerate_tables specs !bench_names in
+  let ctx, bench_seconds, outcomes, table_seconds =
+    regenerate_tables specs !bench_names
+  in
+  let serial_seconds, parallel_speedup =
+    match serial with
+    | None -> (None, None)
+    | Some (serial_outcomes, serial_secs) ->
+      assert_identical_tables serial_outcomes outcomes;
+      let speedup = serial_secs /. Float.max table_seconds 1e-9 in
+      say "=== parallel speedup: serial %.1fs / -j %d %.1fs = %.2fx ==="
+        serial_secs !jobs table_seconds speedup;
+      (Some serial_secs, Some speedup)
+  in
   (* Figures and micro-benchmarks belong to the full run; a filtered run
      (CI smoke, iteration) stops after its tables.  The engine-speedup
      and telemetry-overhead lines are always printed. *)
@@ -544,6 +646,6 @@ let () =
   if !out_file <> "" then
     write_report !out_file ~names:!bench_names ~bench_seconds ~outcomes
       ~total_seconds:(Unix.gettimeofday () -. t_run0)
-      ~engine ~overhead;
+      ~domains:!jobs ~serial_seconds ~parallel_speedup ~engine ~overhead;
   say "";
   say "done."

@@ -60,6 +60,34 @@ let obs_term =
         { trace_out; metrics_out; json_out; quiet })
     $ trace_out $ metrics_out $ json_out $ quiet)
 
+(* -j N: run the command over a process-wide domain pool.  -j 1 (the
+   serial path) never creates a pool, so it is byte-for-byte the
+   pre-parallel behavior; a multi-lane pool fans out benchmarks within
+   a table, configurations within a sweep, and strategies within a lint
+   sweep, all with bit-identical output. *)
+let jobs_term =
+  let doc =
+    "Use $(docv) domains (default: the number of cores).  Output is \
+     bit-identical to $(b,-j 1)."
+  in
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let with_parallel jobs f =
+  if jobs < 1 then failwith (Printf.sprintf "-j must be >= 1 (got %d)" jobs)
+  else if jobs = 1 then f ()
+  else begin
+    let pool = Placement.Pool.create jobs in
+    Placement.Pool.set_default (Some pool);
+    Fun.protect
+      ~finally:(fun () ->
+        Placement.Pool.set_default None;
+        Placement.Pool.shutdown pool)
+      f
+  end
+
 (* Enable the requested telemetry around [f]; the trace and metrics
    files are written even when [f] raises (a failing run is exactly when
    a profile is wanted). *)
@@ -195,8 +223,9 @@ let table_cmd =
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id names validate obs =
+  let run id names validate obs jobs =
     with_telemetry obs @@ fun () ->
+    with_parallel jobs @@ fun () ->
     let spec = Experiments.Runner.find id in
     let ctx = context_of names in
     let o = Experiments.Runner.run_spec ctx spec in
@@ -206,12 +235,15 @@ let table_cmd =
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Regenerate one of the paper's tables")
-    Term.(const run $ id_arg $ bench_names_arg $ validate_arg $ obs_term)
+    Term.(
+      const run $ id_arg $ bench_names_arg $ validate_arg $ obs_term
+      $ jobs_term)
 
 (* impact all *)
 let all_cmd =
-  let run names validate obs =
+  let run names validate obs jobs =
     with_telemetry obs @@ fun () ->
+    with_parallel jobs @@ fun () ->
     let ctx = context_of names in
     let outcomes =
       List.map
@@ -227,7 +259,8 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every table")
-    Term.(const run $ bench_names_arg $ validate_arg $ obs_term)
+    Term.(
+      const run $ bench_names_arg $ validate_arg $ obs_term $ jobs_term)
 
 (* impact run BENCH *)
 let run_cmd =
@@ -469,19 +502,21 @@ let lint_cmd =
       & opt float Placement.Trace_select.default_min_prob
       & info [ "min-prob" ] ~docv:"P" ~doc)
   in
-  let run names strategy format fail_on max_findings min_prob obs =
+  let run names strategy format fail_on max_findings min_prob obs jobs =
     with_telemetry obs @@ fun () ->
+    with_parallel jobs @@ fun () ->
     let ctx = context_of names in
     let results =
-      List.concat_map
-        (fun e ->
-          if strategy = "all" then Experiments.Lint_exp.sweep ~min_prob e
-          else
-            [
-              Experiments.Lint_exp.lint_entry ~min_prob e
-                (Placement.Strategy.find strategy);
-            ])
-        (Experiments.Context.entries ctx)
+      List.concat
+        (Experiments.Context.map_entries
+           (fun e ->
+             if strategy = "all" then Experiments.Lint_exp.sweep ~min_prob e
+             else
+               [
+                 Experiments.Lint_exp.lint_entry ~min_prob e
+                   (Placement.Strategy.find strategy);
+               ])
+           ctx)
     in
     (match format with
     | `Json -> print_endline
@@ -546,7 +581,7 @@ let lint_cmd =
           hot arcs, split loops, cache-set conflicts, profile flow")
     Term.(
       const run $ bench_names_arg $ strategy_arg $ format_arg $ fail_on_arg
-      $ max_findings_arg $ min_prob_arg $ obs_term)
+      $ max_findings_arg $ min_prob_arg $ obs_term $ jobs_term)
 
 let main_cmd =
   let doc =

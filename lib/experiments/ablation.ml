@@ -21,7 +21,7 @@ type row = {
 let config = Icache.Config.make ~size:2048 ~block:64 ()
 
 let compute ctx =
-  List.map
+  Context.map_entries
     (fun e ->
       let miss map trace =
         (Context.simulate e config map trace).Sim.Driver.miss_ratio
@@ -37,7 +37,7 @@ let compute ctx =
         inline_only = miss (Context.natural_map e) trace;
         full = miss (Context.optimized_map e) trace;
       })
-    (Context.entries ctx)
+    ctx
 
 let table ctx =
   let rows =

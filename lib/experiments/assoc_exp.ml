@@ -20,7 +20,7 @@ type row = {
 let at assoc = Icache.Config.make ~assoc ~size:2048 ~block:64 ()
 
 let compute ctx =
-  List.map
+  Context.map_entries
     (fun e ->
       let trace = Context.trace e in
       let opt = Context.optimized_map e in
@@ -44,7 +44,7 @@ let compute ctx =
         way4 = miss (Icache.Config.Ways 4) opt;
         full = miss Icache.Config.Full opt;
       })
-    (Context.entries ctx)
+    ctx
 
 let table ctx =
   let rows =

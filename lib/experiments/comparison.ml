@@ -28,7 +28,7 @@ let full =
     ~assoc:Icache.Config.Full ()
 
 let compute ctx =
-  List.map
+  Context.map_entries
     (fun e ->
       let trace = Context.trace e in
       let original_trace = Context.original_trace e in
@@ -44,7 +44,7 @@ let compute ctx =
         smith_target =
           Paper.smith_miss_ratio ~cache_size ~block_size;
       })
-    (Context.entries ctx)
+    ctx
 
 let mean f rows =
   match rows with

@@ -11,10 +11,25 @@
    configuration) in a hashtable: maps and traces are interned to small
    integer ids on first sight (identity-keyed, which is why every map
    getter below is itself memoized), so a lookup costs one hash probe
-   rather than a scan of everything simulated so far. *)
+   rather than a scan of everything simulated so far.
+
+   Domain safety: each entry carries one mutex guarding all of its
+   mutable state — the lazies (concurrently forcing a [Lazy.t] is
+   unsafe in OCaml 5), the memo tables, the interning lists and the
+   warning list.  The lock is held for memoized construction (so a
+   strategy that raises records its fallback warning exactly once), but
+   never across [Sim.Driver.simulate_many]: the sweep may itself fan
+   out across the domain pool, and the submitting domain helps run
+   other tasks while it waits — tasks that may need this very lock.
+   Two domains can therefore race to simulate the same uncached
+   configuration; both compute the identical deterministic result and
+   [Hashtbl.replace] makes the double-fill harmless, so results are
+   bit-identical to the serial run and only the memo-miss count can
+   drift (bounded by the rare same-entry overlap). *)
 
 type entry = {
   bench : Workloads.Bench.t;
+  lock : Mutex.t; (* guards every mutable/lazy field below *)
   pipeline : Placement.Pipeline.t Lazy.t;
   pipeline_noinline : Placement.Pipeline.t Lazy.t; (* inlining ablated *)
   trace : Sim.Trace_gen.t Lazy.t; (* inlined program, trace input *)
@@ -94,6 +109,7 @@ let make_entry bench =
   in
   {
     bench;
+    lock = Mutex.create ();
     pipeline;
     pipeline_noinline;
     trace;
@@ -117,6 +133,13 @@ let create ?names () =
 
 let entries t = t
 
+let map_entries f t =
+  match Placement.Pool.default () with
+  | Some pool
+    when Placement.Pool.lanes pool > 1 && List.compare_length_with t 1 > 0 ->
+    Placement.Pool.map pool f t
+  | _ -> List.map f t
+
 let find t name =
   match
     List.find_opt (fun e -> e.bench.Workloads.Bench.name = name) t
@@ -125,13 +148,21 @@ let find t name =
   | None -> raise (Workloads.Registry.Unknown_benchmark name)
 
 let name e = e.bench.Workloads.Bench.name
-let pipeline e = Lazy.force e.pipeline
-let pipeline_noinline e = Lazy.force e.pipeline_noinline
-let trace e = Lazy.force e.trace
-let original_trace e = Lazy.force e.original_trace
+
+let locked e f =
+  Mutex.lock e.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock e.lock) f
+
+(* All lazies are forced under the entry lock.  Their bodies force
+   sibling lazies through the closure variables directly (never through
+   these accessors), so forcing never re-enters the lock. *)
+let pipeline e = locked e (fun () -> Lazy.force e.pipeline)
+let pipeline_noinline e = locked e (fun () -> Lazy.force e.pipeline_noinline)
+let trace e = locked e (fun () -> Lazy.force e.trace)
+let original_trace e = locked e (fun () -> Lazy.force e.original_trace)
 let optimized_map e = (pipeline e).Placement.Pipeline.optimized
 let natural_map e = (pipeline e).Placement.Pipeline.natural
-let original_map e = Lazy.force e.lazy_original_map
+let original_map e = locked e (fun () -> Lazy.force e.lazy_original_map)
 
 (* Address map of the inlined program under a registered layout
    strategy, built at most once per (entry, strategy).
@@ -140,9 +171,14 @@ let original_map e = Lazy.force e.lazy_original_map
    not abort a whole experiment sweep, so the failure is recorded as a
    [Strategy]-stage warning and the entry falls back to the natural
    layout for that strategy id.  Callers can inspect {!warnings} /
-   {!fell_back} and render the substitution visibly. *)
+   {!fell_back} and render the substitution visibly.  Construction,
+   memo insertion and warning recording all happen under the entry
+   lock, so concurrent callers agree on one map and a failing strategy
+   warns (and bumps the fallback counter) exactly once. *)
 let strategy_map e (s : Placement.Strategy.t) =
   let id = s.Placement.Strategy.id in
+  let p = pipeline e (* outside the critical section below *) in
+  locked e @@ fun () ->
   match List.assoc_opt id e.strategy_maps with
   | Some map -> map
   | None ->
@@ -150,7 +186,7 @@ let strategy_map e (s : Placement.Strategy.t) =
       try
         Obs.Span.with_ ~stage:"strategy-map"
           ~attrs:[ ("bench", name e); ("strategy", id) ]
-          (fun () -> Placement.Pipeline.map_for (pipeline e) s)
+          (fun () -> Placement.Pipeline.map_for p s)
       with exn ->
         let detail =
           match exn with
@@ -168,16 +204,17 @@ let strategy_map e (s : Placement.Strategy.t) =
            rendering may flush much later (or never, on a crash). *)
         Obs.Log.warn_raw (Ir.Diag.to_string d);
         Obs.Metrics.incr strategy_fallbacks;
-        (pipeline e).Placement.Pipeline.natural
+        p.Placement.Pipeline.natural
     in
     e.strategy_maps <- (id, map) :: e.strategy_maps;
     map
 
-let warnings e = List.rev e.warnings
+let warnings e = locked e (fun () -> List.rev e.warnings)
 
 (* Did [strategy_map] substitute the natural layout for this strategy? *)
 let fell_back e id =
-  List.exists (fun d -> d.Ir.Diag.strategy = Some id) e.warnings
+  locked e (fun () ->
+      List.exists (fun d -> d.Ir.Diag.strategy = Some id) e.warnings)
 
 (* Address map for the code-scaling experiment (Table 9): the inlined
    program with every block size scaled, laid out with the same trace
@@ -189,6 +226,7 @@ let scaled_map e factor =
   let p = pipeline e in
   if factor = 1.0 then p.Placement.Pipeline.optimized
   else
+    locked e @@ fun () ->
     match List.assoc_opt factor e.scaled_maps with
     | Some map -> map
     | None ->
@@ -216,8 +254,10 @@ let scaled_map e factor =
 (* Intern maps and traces to small ids on physical identity, so cached
    results key on a hashable (map id, trace id, config) triple.  The
    interning lists stay tiny — a handful of maps and two traces per
-   entry — while the result cache can hold hundreds of design points. *)
-let map_id e map =
+   entry — while the result cache can hold hundreds of design points.
+   Interning mutates the entry, so callers hold its lock (the
+   [_unlocked] suffix marks the requirement). *)
+let map_id_unlocked e map =
   match
     List.find_map (fun (m, i) -> if m == map then Some i else None) e.map_ids
   with
@@ -227,7 +267,7 @@ let map_id e map =
     e.map_ids <- (map, i) :: e.map_ids;
     i
 
-let trace_id e trace =
+let trace_id_unlocked e trace =
   match
     List.find_map
       (fun (t, i) -> if t == trace then Some i else None)
@@ -239,18 +279,24 @@ let trace_id e trace =
     e.trace_ids <- (trace, i) :: e.trace_ids;
     i
 
-let find_cached e config ~map ~trace =
-  Hashtbl.find_opt e.sim_cache (map_id e map, trace_id e trace, config)
-
 (* Simulate every configuration of [configs] on (map, trace), reusing
    cached results and running all uncached configurations through the
-   single-pass multi-configuration engine in one trace walk. *)
+   single-pass multi-configuration engine in one trace walk.  The sweep
+   itself runs outside the entry lock — it may fan out across the
+   domain pool, and the submitting domain helps run other pool tasks
+   while it waits, tasks that may need this very lock. *)
 let simulate_many e configs map trace =
-  let missing =
-    List.sort_uniq compare
-      (List.filter
-         (fun c -> find_cached e c ~map ~trace = None)
-         configs)
+  let mid, tid, missing =
+    locked e (fun () ->
+        let mid = map_id_unlocked e map in
+        let tid = trace_id_unlocked e trace in
+        let missing =
+          List.sort_uniq compare
+            (List.filter
+               (fun c -> not (Hashtbl.mem e.sim_cache (mid, tid, c)))
+               configs)
+        in
+        (mid, tid, missing))
   in
   if Obs.Metrics.enabled () then begin
     let miss = List.length missing in
@@ -260,22 +306,22 @@ let simulate_many e configs map trace =
   (match missing with
   | [] -> ()
   | _ ->
-    let key = (map_id e map, trace_id e trace) in
     let results = Sim.Driver.simulate_many missing map trace in
-    List.iter2
-      (fun c r ->
-        Hashtbl.replace e.sim_cache (fst key, snd key, c) r)
-      missing results);
-  List.map
-    (fun c ->
-      match find_cached e c ~map ~trace with
-      | Some r -> r
-      | None ->
-        Ir.Diag.error ~stage:Ir.Diag.Simulation
-          "%s: configuration missing from the simulation cache after a \
-           fill pass"
-          (name e))
-    configs
+    locked e (fun () ->
+        List.iter2
+          (fun c r -> Hashtbl.replace e.sim_cache (mid, tid, c) r)
+          missing results));
+  locked e (fun () ->
+      List.map
+        (fun c ->
+          match Hashtbl.find_opt e.sim_cache (mid, tid, c) with
+          | Some r -> r
+          | None ->
+            Ir.Diag.error ~stage:Ir.Diag.Simulation
+              "%s: configuration missing from the simulation cache after a \
+               fill pass"
+              (name e))
+        configs)
 
 let simulate e config map trace =
   match simulate_many e [ config ] map trace with

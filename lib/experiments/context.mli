@@ -6,6 +6,7 @@
 
 type entry = {
   bench : Workloads.Bench.t;
+  lock : Mutex.t;  (** guards every mutable/lazy field of the entry *)
   pipeline : Placement.Pipeline.t Lazy.t;
   pipeline_noinline : Placement.Pipeline.t Lazy.t;
   trace : Sim.Trace_gen.t Lazy.t;
@@ -25,6 +26,14 @@ val create : ?names:string list -> unit -> t
 (** Default: the full ten-benchmark suite. *)
 
 val entries : t -> entry list
+
+val map_entries : (entry -> 'a) -> t -> 'a list
+(** [List.map f (entries t)], fanned out across the default
+    {!Placement.Pool} when one with more than one lane is set.  Results
+    come back in entry order, and every memoized getter is safe to call
+    from [f] on any domain (each entry serializes its own construction
+    behind a mutex), so experiments built on this are bit-identical to
+    their serial runs. *)
 
 val find : t -> string -> entry
 (** Raises [Workloads.Registry.Unknown_benchmark]. *)

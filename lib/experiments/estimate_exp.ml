@@ -18,7 +18,7 @@ type row = {
 let config = Icache.Config.make ~size:2048 ~block:64 ()
 
 let compute ctx =
-  List.map
+  Context.map_entries
     (fun e ->
       let pl = Context.pipeline e in
       let est = Sim.Estimate.of_pipeline config pl in
@@ -32,7 +32,7 @@ let compute ctx =
         compulsory = est.Sim.Estimate.compulsory;
         conflict = est.Sim.Estimate.conflict;
       })
-    (Context.entries ctx)
+    ctx
 
 let table ctx =
   let rows =

@@ -206,30 +206,41 @@ let check_program ?(strategies = Placement.Strategy.all)
 
 let first_error ds = match Ir.Diag.errors ds with d :: _ -> Some d | [] -> None
 
+(* Shrink a seed already known to fail with [diags].  The seed
+   regenerates the program deterministically, so detection and shrinking
+   can run in different places (the parallel campaign detects on worker
+   domains and shrinks serially, in seed order). *)
+let shrink_failure ~size ?strategies seed diags : failure =
+  let ast = Ir.Gen.generate ~size seed in
+  let d0 =
+    match first_error diags with
+    | Some d -> d
+    | None -> invalid_arg "Fuzz.shrink_failure: no error-severity diagnostic"
+  in
+  (* Shrink while the first violation stays in the original stage, so
+     the reduction cannot wander into an unrelated failure class. *)
+  let still_fails p =
+    match first_error (check_program ?strategies p) with
+    | Some d -> d.Ir.Diag.stage = d0.Ir.Diag.stage
+    | None -> false
+  in
+  let shrunk, shrink_steps = Ir.Gen.shrink ast ~still_fails in
+  {
+    seed;
+    size;
+    diags;
+    shrunk;
+    shrunk_diags = check_program ?strategies shrunk;
+    shrink_steps;
+  }
+
 (* Fuzz one seed; [Some failure] if any invariant broke. *)
 let run_seed ?(size = 120) ?strategies seed : failure option =
   let ast = Ir.Gen.generate ~size seed in
   let diags = check_program ?strategies ast in
   match first_error diags with
   | None -> None
-  | Some d0 ->
-    (* Shrink while the first violation stays in the original stage, so
-       the reduction cannot wander into an unrelated failure class. *)
-    let still_fails p =
-      match first_error (check_program ?strategies p) with
-      | Some d -> d.Ir.Diag.stage = d0.Ir.Diag.stage
-      | None -> false
-    in
-    let shrunk, shrink_steps = Ir.Gen.shrink ast ~still_fails in
-    Some
-      {
-        seed;
-        size;
-        diags;
-        shrunk;
-        shrunk_diags = check_program ?strategies shrunk;
-        shrink_steps;
-      }
+  | Some _ -> Some (shrink_failure ~size ?strategies seed diags)
 
 (* Human-readable reproducer: the seed regenerates the program
    deterministically; the lowered IR of the shrunk case is printed when
@@ -250,17 +261,7 @@ let report_failure ppf (f : failure) =
   Fmt.pf ppf "reproduce with: fuzz --seed %d --count 1 --size %d@." f.seed
     f.size
 
-(* Fuzz [count] consecutive seeds starting at [first_seed], reporting
-   progress through [log]. *)
-let run ?(size = 120) ?strategies ?(log = ignore) ~first_seed ~count () :
-    failure list =
-  Obs.Span.with_ ~stage:"fuzz"
-    ~attrs:
-      [
-        ("first_seed", string_of_int first_seed);
-        ("count", string_of_int count);
-      ]
-  @@ fun () ->
+let run_serial ~size ?strategies ~log ~first_seed ~count () : failure list =
   let failures = ref [] in
   for k = 0 to count - 1 do
     let seed = first_seed + k in
@@ -279,3 +280,57 @@ let run ?(size = 120) ?strategies ?(log = ignore) ~first_seed ~count () :
            (List.length !failures))
   done;
   List.rev !failures
+
+(* Parallel campaign: detection fans out over the pool (each seed's
+   program is regenerated from the seed, so a task depends only on its
+   seed), then the failing seeds are shrunk and reported serially in
+   seed order — the failure list and every report are identical to the
+   serial campaign's; only the progress cadence differs. *)
+let run_parallel pool ~size ?strategies ~log ~first_seed ~count () :
+    failure list =
+  let seeds = List.init count (fun k -> first_seed + k) in
+  let failing =
+    Placement.Pool.map pool
+      (fun seed ->
+        Obs.Metrics.incr seeds_checked;
+        let ast = Ir.Gen.generate ~size seed in
+        let diags = check_program ?strategies ast in
+        match first_error diags with
+        | None -> None
+        | Some _ -> Some (seed, diags))
+      seeds
+  in
+  let failures =
+    List.filter_map
+      (Option.map (fun (seed, diags) ->
+           let f = shrink_failure ~size ?strategies seed diags in
+           Obs.Metrics.incr failures_found;
+           Obs.Metrics.incr ~by:f.shrink_steps shrink_steps_taken;
+           log (Fmt.str "%a" report_failure f);
+           f))
+      failing
+  in
+  log
+    (Fmt.str "checked %d/%d programs (seeds %d..%d), %d failure(s)" count
+       count first_seed
+       (first_seed + count - 1)
+       (List.length failures));
+  failures
+
+(* Fuzz [count] consecutive seeds starting at [first_seed], reporting
+   progress through [log]; a multi-lane [pool] parallelizes detection. *)
+let run ?(size = 120) ?strategies ?(log = ignore) ?pool ~first_seed ~count
+    () : failure list =
+  let lanes = match pool with None -> 1 | Some p -> Placement.Pool.lanes p in
+  Obs.Span.with_ ~stage:"fuzz"
+    ~attrs:
+      ([
+         ("first_seed", string_of_int first_seed);
+         ("count", string_of_int count);
+       ]
+      @ if lanes > 1 then [ ("lanes", string_of_int lanes) ] else [])
+  @@ fun () ->
+  match pool with
+  | Some pool when lanes > 1 && count > 1 ->
+    run_parallel pool ~size ?strategies ~log ~first_seed ~count ()
+  | _ -> run_serial ~size ?strategies ~log ~first_seed ~count ()

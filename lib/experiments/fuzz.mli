@@ -28,6 +28,16 @@ val run_seed :
   failure option
 (** Generate, check, and on failure shrink one seeded program. *)
 
+val shrink_failure :
+  size:int ->
+  ?strategies:Placement.Strategy.t list ->
+  int ->
+  Ir.Diag.t list ->
+  failure
+(** Shrink a seed already known to fail with the given diagnostics (the
+    seed regenerates the program deterministically).  Raises
+    [Invalid_argument] if none of them is error-severity. *)
+
 val report_failure : failure Fmt.t
 (** Violations, shrunk reproducer (lowered IR when it lowers), and the
     command line that replays the seed. *)
@@ -36,8 +46,13 @@ val run :
   ?size:int ->
   ?strategies:Placement.Strategy.t list ->
   ?log:(string -> unit) ->
+  ?pool:Placement.Pool.t ->
   first_seed:int ->
   count:int ->
   unit ->
   failure list
-(** Fuzz [count] consecutive seeds, logging progress and failures. *)
+(** Fuzz [count] consecutive seeds, logging progress and failures.  With
+    a multi-lane [pool], seeds are checked in parallel and the failing
+    ones shrunk serially in seed order — the returned failures and their
+    reports are identical to the serial campaign's; only the progress
+    cadence differs. *)

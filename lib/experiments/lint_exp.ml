@@ -34,10 +34,15 @@ let lint_entry ?(config = default_config) ?min_prob ?page_bytes e
     report = Analysis.Lint.run input;
   }
 
+(* The per-strategy lints are independent (each takes the entry lock
+   only around its memoized lookups), so a multi-lane default pool lints
+   strategies concurrently; order is the registry's either way. *)
 let sweep ?config ?min_prob ?page_bytes e =
-  List.map
-    (fun s -> lint_entry ?config ?min_prob ?page_bytes e s)
-    Placement.Strategy.all
+  let lint s = lint_entry ?config ?min_prob ?page_bytes e s in
+  match Placement.Pool.default () with
+  | Some pool when Placement.Pool.lanes pool > 1 ->
+    Placement.Pool.map pool lint Placement.Strategy.all
+  | _ -> List.map lint Placement.Strategy.all
 
 (* Best first: fewer static conflicts, then fewer broken hot arcs. *)
 let rank results =

@@ -31,7 +31,7 @@ let run_one map trace =
   sim
 
 let compute ctx =
-  List.map
+  Context.map_entries
     (fun e ->
       let trace = Context.trace e in
       let nat = run_one (Context.natural_map e) trace in
@@ -45,7 +45,7 @@ let compute ctx =
         nat_fault_rate = Paging.Page_sim.fault_rate nat;
         opt_fault_rate = Paging.Page_sim.fault_rate opt;
       })
-    (Context.entries ctx)
+    ctx
 
 let table ctx =
   let rows =

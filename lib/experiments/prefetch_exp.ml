@@ -16,7 +16,7 @@ let base_config = Icache.Config.make ~size:2048 ~block:64 ()
 let pref_config = Icache.Config.make ~prefetch:true ~size:2048 ~block:64 ()
 
 let compute ctx =
-  List.map
+  Context.map_entries
     (fun e ->
       let trace = Context.trace e in
       let map = Context.optimized_map e in
@@ -25,7 +25,7 @@ let compute ctx =
       with
       | [ base; pref ] -> { name = Context.name e; base; pref }
       | _ -> assert false)
-    (Context.entries ctx)
+    ctx
 
 let table ctx =
   let rows =

@@ -19,8 +19,9 @@ let config = Icache.Config.make ~size:2048 ~block:64 ()
    [Context.strategy_map] yields its natural-layout fallback numbers,
    with the substitution marked in the strategy column. *)
 let compute ?(strategies = Placement.Strategy.all) ctx =
-  List.concat_map
-    (fun e ->
+  List.concat
+  @@ Context.map_entries
+       (fun e ->
       Obs.Span.with_ ~stage:"strategy-exp"
         ~attrs:[ ("bench", Context.name e) ]
       @@ fun () ->
@@ -39,7 +40,7 @@ let compute ?(strategies = Placement.Strategy.all) ctx =
             traffic = r.Sim.Driver.traffic_ratio;
           })
         strategies)
-    (Context.entries ctx)
+       ctx
 
 let table ctx =
   let rows =

@@ -36,7 +36,7 @@ let simulate_entry configs map_of e =
   }
 
 let compute ctx configs ~map_of =
-  List.map (simulate_entry configs map_of) (Context.entries ctx)
+  Context.map_entries (simulate_entry configs map_of) ctx
 
 (* Render measured next to paper values: each sweep point becomes two
    columns "miss" and "traffic", each cell "measured (paper)". *)

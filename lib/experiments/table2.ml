@@ -12,7 +12,7 @@ type row = {
 }
 
 let compute ctx =
-  List.map
+  Context.map_entries
     (fun e ->
       let p = Context.pipeline e in
       let prof = p.Placement.Pipeline.original_profile in
@@ -24,7 +24,7 @@ let compute ctx =
         control = prof.Vm.Profile.dyn_branches;
         inputs = e.Context.bench.Workloads.Bench.description;
       })
-    (Context.entries ctx)
+    ctx
 
 let table ctx =
   let paper_of name =

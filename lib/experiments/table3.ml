@@ -16,7 +16,7 @@ type row = {
 }
 
 let compute ctx =
-  List.map
+  Context.map_entries
     (fun e ->
       let p = Context.pipeline e in
       let before = p.Placement.Pipeline.original_profile in
@@ -39,7 +39,7 @@ let compute ctx =
         ct_per_call = per calls_after after.Vm.Profile.dyn_branches;
         sites = p.Placement.Pipeline.inline_report.Placement.Inline.sites_inlined;
       })
-    (Context.entries ctx)
+    ctx
 
 let table ctx =
   let paper_of name =

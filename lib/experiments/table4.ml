@@ -29,7 +29,7 @@ let mean_trace_length (p : Placement.Pipeline.t) =
   else float_of_int !total_blocks /. float_of_int !total_traces
 
 let compute ctx =
-  List.map
+  Context.map_entries
     (fun e ->
       let p = Context.pipeline e in
       let counts =
@@ -46,7 +46,7 @@ let compute ctx =
           Sim.Classify.fraction counts.Sim.Classify.desirable counts;
         trace_length = mean_trace_length p;
       })
-    (Context.entries ctx)
+    ctx
 
 let table ctx =
   let paper_of name =

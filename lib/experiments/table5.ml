@@ -10,7 +10,7 @@ type row = {
 }
 
 let compute ctx =
-  List.map
+  Context.map_entries
     (fun e ->
       let map = Context.optimized_map e in
       {
@@ -19,7 +19,7 @@ let compute ctx =
         effective_static_bytes = map.Placement.Address_map.effective_bytes;
         dynamic_accesses = Sim.Trace_gen.dyn_insns map (Context.trace e);
       })
-    (Context.entries ctx)
+    ctx
 
 let table ctx =
   let rows =

@@ -16,7 +16,7 @@ let partial_config =
   Icache.Config.make ~size:2048 ~block:64 ~fill:Icache.Config.Partial ()
 
 let compute ctx =
-  List.map
+  Context.map_entries
     (fun e ->
       let map = Context.optimized_map e in
       let trace = Context.trace e in
@@ -25,7 +25,7 @@ let compute ctx =
       with
       | [ sector; partial ] -> { name = Context.name e; sector; partial }
       | _ -> assert false)
-    (Context.entries ctx)
+    ctx
 
 let table ctx =
   let paper_of name =

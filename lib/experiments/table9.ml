@@ -10,7 +10,7 @@ let config =
   Icache.Config.make ~size:2048 ~block:64 ~fill:Icache.Config.Partial ()
 
 let compute ctx =
-  List.map
+  Context.map_entries
     (fun e ->
       let trace = Context.trace e in
       {
@@ -26,7 +26,7 @@ let compute ctx =
               })
             factors;
       })
-    (Context.entries ctx)
+    ctx
 
 let table ctx =
   Sweep.render

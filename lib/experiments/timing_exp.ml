@@ -19,7 +19,7 @@ let partial =
   Icache.Config.make ~size:2048 ~block:64 ~fill:Icache.Config.Partial ()
 
 let compute ctx =
-  List.map
+  Context.map_entries
     (fun e ->
       let map = Context.optimized_map e in
       let trace = Context.trace e in
@@ -34,7 +34,7 @@ let compute ctx =
         whole_streaming = w.Sim.Driver.eat_streaming;
         partial_streaming = p.Sim.Driver.eat_streaming_partial;
       })
-    (Context.entries ctx)
+    ctx
 
 let table ctx =
   let rows =

@@ -95,4 +95,4 @@ let check ?level (t : Context.t) : Ir.Diag.t list =
   in
   Obs.Span.with_ ~stage:"validate"
     ~attrs:[ ("level", level_name) ]
-    (fun () -> List.concat_map (check_entry ?level) (Context.entries t))
+    (fun () -> List.concat (Context.map_entries (check_entry ?level) t))

@@ -5,7 +5,11 @@
    entry points unchanged so they are not double-prefixed.  The default
    sink writes to stderr, keeping stdout a pure table/report stream;
    [set_quiet true] (the CLI's --quiet) drops [Info] and [Warn] while
-   [Error] always gets through. *)
+   [Error] always gets through.
+
+   A mutex serializes sink invocations, so messages emitted from
+   concurrent domains (e.g. a degradation warning surfacing inside a
+   parallel table build) arrive whole instead of interleaved. *)
 
 type level = Info | Warn | Error
 
@@ -18,16 +22,21 @@ let default_sink _level msg =
 
 let the_sink = ref default_sink
 let quiet_flag = ref false
+let mutex = Mutex.create ()
 
 let set_sink s = the_sink := s
 let reset_sink () = the_sink := default_sink
 let set_quiet b = quiet_flag := b
 let quiet () = !quiet_flag
 
+let serialized sink level msg =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) (fun () -> sink level msg)
+
 let emit level msg =
   match level with
-  | Error -> !the_sink Error msg
-  | Info | Warn -> if not !quiet_flag then !the_sink level msg
+  | Error -> serialized !the_sink Error msg
+  | Info | Warn -> if not !quiet_flag then serialized !the_sink level msg
 
 let info fmt = Printf.ksprintf (emit Info) fmt
 let warn fmt = Printf.ksprintf (fun m -> emit Warn ("[warning] " ^ m)) fmt

@@ -7,10 +7,18 @@
    asking for the same counter twice returns the same instance — and a
    name collision across kinds is a programming error and raises.
 
+   Domain safety: counters are atomics (the hot path stays lock-free —
+   one fetch-and-add per bump); gauges, histograms and the registry
+   table share one mutex, which is fine because lookups after module
+   init are rare (per-configuration sim counters) and observations are
+   per-span, not per-access.  Increments from concurrent domains
+   commute, so totals are independent of scheduling and parallel runs
+   report the same counts as serial ones.
+
    [dump] renders a deterministic text report (names sorted), written by
    the CLI behind [--metrics-out]. *)
 
-type counter = { c_name : string; c_help : string; mutable count : int }
+type counter = { c_name : string; c_help : string; count : int Atomic.t }
 type gauge = { g_name : string; g_help : string; mutable value : float }
 
 type histogram = {
@@ -25,14 +33,20 @@ type histogram = {
 type metric = C of counter | G of gauge | H of histogram
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
-let on = ref false
+let mutex = Mutex.create ()
+let on = Atomic.make false
 
-let set_enabled b = on := b
-let enabled () = !on
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
 let register name make_new match_existing =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | None ->
     let m = make_new () in
@@ -50,7 +64,7 @@ let register name make_new match_existing =
 let counter ?(help = "") name =
   match
     register name
-      (fun () -> C { c_name = name; c_help = help; count = 0 })
+      (fun () -> C { c_name = name; c_help = help; count = Atomic.make 0 })
       (function C _ as m -> Some m | _ -> None)
   with
   | C c -> c
@@ -83,19 +97,21 @@ let histogram ?(help = "") name =
   | H h -> h
   | _ -> assert false
 
-let incr ?(by = 1) c = if !on then c.count <- c.count + by
-let value c = c.count
+let incr ?(by = 1) c =
+  if Atomic.get on then ignore (Atomic.fetch_and_add c.count by)
 
-let set g v = if !on then g.value <- v
+let value c = Atomic.get c.count
+
+let set g v = if Atomic.get on then locked (fun () -> g.value <- v)
 let gauge_value g = g.value
 
 let observe h v =
-  if !on then begin
+  if Atomic.get on then
+    locked @@ fun () ->
     h.n <- h.n + 1;
     h.sum <- h.sum +. v;
     if v < h.vmin then h.vmin <- v;
     if v > h.vmax then h.vmax <- v
-  end
 
 let hist_count h = h.n
 let hist_sum h = h.sum
@@ -104,10 +120,11 @@ let hist_max h = if h.n = 0 then 0. else h.vmax
 let hist_mean h = if h.n = 0 then 0. else h.sum /. float_of_int h.n
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | C c -> c.count <- 0
+      | C c -> Atomic.set c.count 0
       | G g -> g.value <- 0.
       | H h ->
         h.n <- 0;
@@ -118,11 +135,12 @@ let reset () =
 
 (* Test helper: forget every registration (module-level instruments keep
    working but re-register lazily on next lookup by other callers). *)
-let clear () = Hashtbl.reset registry
+let clear () = locked (fun () -> Hashtbl.reset registry)
 
 let dump () =
   let entries =
-    Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+    locked (fun () ->
+        Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
   in
   let entries =
     List.sort (fun (a, _) (b, _) -> compare a b) entries
@@ -134,7 +152,7 @@ let dump () =
       (match m with
       | C c ->
         Buffer.add_string buf
-          (Printf.sprintf "counter    %-52s %d\n" name c.count)
+          (Printf.sprintf "counter    %-52s %d\n" name (Atomic.get c.count))
       | G g ->
         Buffer.add_string buf
           (Printf.sprintf "gauge      %-52s %g\n" name g.value)

@@ -6,12 +6,26 @@
    load and branch around a direct call to [f], so instrumented code
    pays nothing until a consumer opts in (--trace-out, bench).
 
+   Domain safety: every domain records into its own buffer
+   (domain-local storage), so the hot path takes no lock — nesting
+   depth is domain-local state and appending an event touches only the
+   recording domain's list.  Buffers are registered in a global list
+   under a mutex the first time a domain records, and they outlive
+   their domain, so [events]/[to_chrome_json] can stitch every domain's
+   spans back together after a parallel section.  The completion
+   sequence number is a global atomic, giving one total completion
+   order across domains; on a single domain the numbering is identical
+   to the pre-parallel implementation, which keeps the serial path byte
+   for byte.
+
    Completed spans export as Chrome trace-event JSON ("X" complete
-   events on one pid/tid), loadable in chrome://tracing and Perfetto:
-   nesting is implied by interval containment.  When the metrics
-   registry is enabled, every completed span also feeds a per-stage
-   duration histogram ([span.<stage>.seconds]), so the metrics dump
-   shows where the time of a run went without a trace viewer.
+   events; each domain's buffer becomes its own tid lane, the main
+   domain keeping the historical tid 1), loadable in chrome://tracing
+   and Perfetto: nesting is implied by interval containment within a
+   lane.  When the metrics registry is enabled, every completed span
+   also feeds a per-stage duration histogram ([span.<stage>.seconds]),
+   so the metrics dump shows where the time of a run went without a
+   trace viewer.
 
    The clock is [Unix.gettimeofday] — the portable best effort without
    adding a C stub; timestamps are stored relative to the first enable
@@ -26,48 +40,76 @@ type event = {
   seq : int; (* completion order, starting at 1 *)
 }
 
-let on = ref false
-let epoch_us = ref 0.
-let depth = ref 0
-let next_seq = ref 0
-let events_rev : event list ref = ref []
+(* Per-domain recording buffer; registered once, survives the domain. *)
+type buffer = {
+  tid : int; (* Chrome trace lane; 1 = the first recording domain *)
+  mutable b_depth : int;
+  mutable b_events : event list; (* newest first *)
+}
+
+let on = Atomic.make false
+let epoch_us = ref 0. (* written only while single-domain *)
+let next_seq = Atomic.make 0
+
+let reg_mutex = Mutex.create ()
+let buffers : buffer list ref = ref [] (* registration order *)
+let next_tid = ref 1 (* under [reg_mutex] *)
+
+let buffer_key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Mutex.lock reg_mutex;
+      let b = { tid = !next_tid; b_depth = 0; b_events = [] } in
+      incr next_tid;
+      buffers := !buffers @ [ b ];
+      Mutex.unlock reg_mutex;
+      b)
 
 let now_us () = Clock.now () *. 1e6
 
 let set_enabled b =
-  if b && not !on then epoch_us := now_us ();
-  on := b
+  if b && not (Atomic.get on) then epoch_us := now_us ();
+  Atomic.set on b
 
-let enabled () = !on
+let enabled () = Atomic.get on
 
 let reset () =
-  depth := 0;
-  next_seq := 0;
-  events_rev := [];
+  Mutex.lock reg_mutex;
+  List.iter
+    (fun b ->
+      b.b_depth <- 0;
+      b.b_events <- [])
+    !buffers;
+  Mutex.unlock reg_mutex;
+  Atomic.set next_seq 0;
   epoch_us := now_us ()
 
-let events () = List.rev !events_rev
+let events () =
+  Mutex.lock reg_mutex;
+  let evs = List.concat_map (fun b -> b.b_events) !buffers in
+  Mutex.unlock reg_mutex;
+  List.sort (fun a b -> compare a.seq b.seq) evs
 
 let with_ ~stage ?(attrs = []) f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
-    let d = !depth in
-    depth := d + 1;
+    let b = Domain.DLS.get buffer_key in
+    let d = b.b_depth in
+    b.b_depth <- d + 1;
     let t0 = now_us () in
     let record () =
       let t1 = now_us () in
-      depth := d;
-      incr next_seq;
-      events_rev :=
+      b.b_depth <- d;
+      let seq = 1 + Atomic.fetch_and_add next_seq 1 in
+      b.b_events <-
         {
           name = stage;
           attrs;
           start_us = t0 -. !epoch_us;
           dur_us = t1 -. t0;
           depth = d;
-          seq = !next_seq;
+          seq;
         }
-        :: !events_rev;
+        :: b.b_events;
       if Metrics.enabled () then
         Metrics.observe
           (Metrics.histogram ("span." ^ stage ^ ".seconds"))
@@ -78,7 +120,7 @@ let with_ ~stage ?(attrs = []) f =
 
 (* ---------- Chrome trace-event export ---------- *)
 
-let chrome_event e =
+let chrome_event ~tid e =
   let args =
     List.map (fun (k, v) -> (k, Json.String v)) e.attrs
     @ [ ("depth", Json.Int e.depth); ("seq", Json.Int e.seq) ]
@@ -91,24 +133,32 @@ let chrome_event e =
       ("ts", Json.Float e.start_us);
       ("dur", Json.Float e.dur_us);
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      ("tid", Json.Int tid);
       ("args", Json.Obj args);
     ]
 
 let to_chrome_json () =
   (* Start-time order; on a timestamp tie (sub-µs nesting) the parent
-     goes first so viewers nest the slices correctly. *)
+     goes first so viewers nest the slices correctly within a lane. *)
+  Mutex.lock reg_mutex;
+  let tagged =
+    List.concat_map
+      (fun b -> List.map (fun e -> (b.tid, e)) b.b_events)
+      !buffers
+  in
+  Mutex.unlock reg_mutex;
   let sorted =
     List.sort
-      (fun a b ->
+      (fun (_, a) (_, b) ->
         match compare a.start_us b.start_us with
         | 0 -> compare a.depth b.depth
         | c -> c)
-      (events ())
+      tagged
   in
   Json.Obj
     [
-      ("traceEvents", Json.List (List.map chrome_event sorted));
+      ( "traceEvents",
+        Json.List (List.map (fun (tid, e) -> chrome_event ~tid e) sorted) );
       ("displayTimeUnit", Json.String "ms");
     ]
 

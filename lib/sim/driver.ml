@@ -218,7 +218,7 @@ let result_of st =
     eat_streaming_partial;
   }
 
-let simulate_many ?(timing_model = Icache.Timing.default_model) configs
+let simulate_many_serial ?(timing_model = Icache.Timing.default_model) configs
     (map : Placement.Address_map.t) (trace : Trace_gen.t) : result list =
   Obs.Span.with_ ~stage:"simulate"
     ~attrs:
@@ -287,6 +287,53 @@ let simulate_many ?(timing_model = Icache.Timing.default_model) configs
   let results = List.map result_of states in
   record_metrics results;
   results
+
+(* Split [xs] into [k] contiguous runs whose lengths differ by at most
+   one, longer runs first — concatenating the runs rebuilds [xs]. *)
+let partition k xs =
+  let n = List.length xs in
+  let rec go i rest =
+    if i = k then []
+    else begin
+      let len = (n / k) + if i < n mod k then 1 else 0 in
+      let rec take len acc rest =
+        if len = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> (List.rev acc, [])
+          | x :: rest -> take (len - 1) (x :: acc) rest
+      in
+      let run, rest = take len [] rest in
+      run :: go (i + 1) rest
+    end
+  in
+  go 0 xs
+
+let simulate_many ?timing_model configs map trace =
+  match Placement.Pool.default () with
+  | Some pool
+    when Placement.Pool.lanes pool > 1
+         && List.compare_length_with configs 2 >= 0 ->
+    (* Each configuration's cache state is independent, so a contiguous
+       partition of the config list simulated per-chunk and concatenated
+       in order is bit-identical to the serial sweep; only the trace
+       replay cost is shared.  The chunk count matches the lane count:
+       replaying the trace is the dominant cost, so finer chunks would
+       replay it more times for no balance win. *)
+    Obs.Span.with_ ~stage:"simulate"
+      ~attrs:
+        [
+          ("engine", "parallel");
+          ("configs", string_of_int (List.length configs));
+          ("lanes", string_of_int (Placement.Pool.lanes pool));
+        ]
+    @@ fun () ->
+    let k = min (Placement.Pool.lanes pool) (List.length configs) in
+    List.concat
+      (Placement.Pool.map pool
+         (fun chunk -> simulate_many_serial ?timing_model chunk map trace)
+         (partition k configs))
+  | _ -> simulate_many_serial ?timing_model configs map trace
 
 let simulate_all ?timing_model configs map trace =
   simulate_many ?timing_model configs map trace

@@ -34,7 +34,22 @@ val simulate_many :
 (** Block-granular fast path: expands the block trace once and advances
     every configuration's cache, timers and run bookkeeping in the same
     pass, using {!Icache.Cache.access_run} (one tag probe per cache block
-    touched).  Bit-identical to running {!simulate} per configuration. *)
+    touched).  Bit-identical to running {!simulate} per configuration.
+
+    When a default {!Placement.Pool} with more than one lane is set, the
+    configuration list is partitioned into contiguous chunks (one per
+    lane) simulated on separate domains; results are concatenated back
+    in input order, so the output is bit-identical to the serial
+    sweep. *)
+
+val simulate_many_serial :
+  ?timing_model:Icache.Timing.model ->
+  Icache.Config.t list ->
+  Placement.Address_map.t ->
+  Trace_gen.t ->
+  result list
+(** The single-domain sweep {!simulate_many} partitions over; ignores
+    the default pool. *)
 
 val simulate_all :
   ?timing_model:Icache.Timing.model ->

@@ -23,4 +23,5 @@ let () =
       ("shapes", Test_shapes.suite);
       ("obs", Test_obs.suite);
       ("analysis", Test_analysis.suite);
+      ("parallel", Test_parallel.suite);
     ]
