@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make ci` on every PR.
 
-.PHONY: all build test bench bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke par-smoke ci clean
+.PHONY: all build test bench bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke par-smoke stream-smoke ci clean
 
 all: build
 
@@ -17,7 +17,7 @@ bench:
 # Fast end-to-end exercise of the block-granular simulation engine:
 # one table, one benchmark, plus the reference-vs-fast engine comparison.
 # `--out ""` keeps the smoke run from clobbering the committed full-run
-# report (BENCH_pr4.json).
+# report (BENCH_pr7.json).
 bench-smoke:
 	dune exec bench/main.exe -- --only t6 --benchmarks wc --out ""
 
@@ -75,7 +75,25 @@ par-smoke:
 	  > _par/fuzz-j2.txt
 	cmp _par/fuzz-j1.txt _par/fuzz-j2.txt
 
-ci: build test bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke par-smoke
+# Streaming/compressed trace store end to end: the same table must be
+# byte-identical between the streaming (default) and buffered engines,
+# and — under streaming — between -j 1 and -j 2; the committed scaled
+# bench report must parse.
+stream-smoke:
+	rm -rf _stream && mkdir -p _stream
+	dune exec bin/main.exe -- table 6 -b cmp,wc --engine streaming \
+	  > _stream/t6-streaming.txt
+	dune exec bin/main.exe -- table 6 -b cmp,wc --engine buffered \
+	  > _stream/t6-buffered.txt
+	cmp _stream/t6-streaming.txt _stream/t6-buffered.txt
+	dune exec bin/main.exe -- table 6 -b cmp,wc --scale 2 -j 1 \
+	  > _stream/t6-scale-j1.txt
+	dune exec bin/main.exe -- table 6 -b cmp,wc --scale 2 -j 2 \
+	  > _stream/t6-scale-j2.txt
+	cmp _stream/t6-scale-j1.txt _stream/t6-scale-j2.txt
+	dune exec bin/checkjson.exe -- BENCH_pr7.json
+
+ci: build test bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke par-smoke stream-smoke
 
 clean:
 	dune clean

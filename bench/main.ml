@@ -23,9 +23,11 @@ let only_ids : string list option ref = ref None
 let bench_names : string list option ref = ref None
 let jobs = ref (Domain.recommended_domain_count ())
 let compare_serial = ref false
+let trace_engine = ref Sim.Trace.Streaming
+let scale = ref 1
 
 (* Machine-readable report destination; empty string disables it. *)
-let out_file = ref "BENCH_pr6.json"
+let out_file = ref "BENCH_pr7.json"
 
 let split_csv s = String.split_on_char ',' s |> List.filter (( <> ) "")
 
@@ -56,7 +58,23 @@ let parse_cli () =
       ( "--out",
         Arg.Set_string out_file,
         "FILE  Write the machine-readable bench report to FILE (default \
-         BENCH_pr6.json; empty disables)" );
+         BENCH_pr7.json; empty disables)" );
+      ( "--engine",
+        Arg.String
+          (fun s ->
+            match Sim.Trace.engine_of_string s with
+            | Some e -> trace_engine := e
+            | None ->
+              raise (Arg.Bad "--engine must be 'streaming' or 'buffered'")),
+        "E  Trace store: streaming (born-compressed, default) or buffered \
+         (raw 8-byte-per-block reference)" );
+      ( "--scale",
+        Arg.Int
+          (fun n ->
+            if n < 1 then raise (Arg.Bad "--scale must be >= 1");
+            scale := n),
+        "N  Workload scale factor (default 1 = the paper's programs; \
+         above 1 welds on the generated auxiliary program)" );
       ( "-j",
         Arg.Int
           (fun n ->
@@ -80,7 +98,7 @@ let parse_cli () =
   Arg.parse spec
     (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
     "bench/main.exe [--only t6,t8] [--benchmarks wc,grep] [--out FILE] \
-     [-j N] [--compare-serial]"
+     [--engine streaming|buffered] [--scale N] [-j N] [--compare-serial]"
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: table regeneration                                          *)
@@ -91,12 +109,16 @@ let regenerate_tables specs names =
     (match !only_ids with
     | None -> "all experiments"
     | Some ids -> "experiments " ^ String.concat "," ids);
-  say "(building pipelines for %s)"
+  say "(building pipelines for %s; engine %s, scale %d)"
     (match names with
     | None -> "the ten benchmarks"
-    | Some ns -> String.concat ", " ns);
+    | Some ns -> String.concat ", " ns)
+    (Sim.Trace.engine_name !trace_engine)
+    !scale;
   let t0 = Unix.gettimeofday () in
-  let ctx = Experiments.Context.create ?names () in
+  let ctx =
+    Experiments.Context.create ~engine:!trace_engine ~scale:!scale ?names ()
+  in
   (* Force each benchmark's pipeline + trace up front so the per-table
      times below measure table computation, not lazy pipeline builds —
      and so the report can carry a per-benchmark build cost. *)
@@ -133,7 +155,9 @@ let serial_reference specs names =
   say "";
   say "=== --compare-serial: serial reference pass (no pool) ===";
   let t0 = Unix.gettimeofday () in
-  let ctx = Experiments.Context.create ?names () in
+  let ctx =
+    Experiments.Context.create ~engine:!trace_engine ~scale:!scale ?names ()
+  in
   let outcomes =
     List.map (fun spec -> Experiments.Runner.run_spec ctx spec) specs
   in
@@ -280,6 +304,13 @@ let write_report path ~names ~bench_seconds ~outcomes ~total_seconds
   let hits = Obs.Metrics.value Experiments.Context.memo_hits in
   let misses = Obs.Metrics.value Experiments.Context.memo_misses in
   let lookups = hits + misses in
+  (* Trace-store gauges (registration is idempotent, so this reads the
+     same gauges Sim.Trace bumps on every recording). *)
+  let tgauge n = int_of_float (Obs.Metrics.gauge_value (Obs.Metrics.gauge n)) in
+  let t_runs = tgauge "trace.runs" in
+  let t_raw = tgauge "trace.raw_bytes" in
+  let t_stored = tgauge "trace.compressed_bytes" in
+  let t_peak = tgauge "trace.peak_resident_bytes" in
   let json =
     Obs.Json.Obj
       [
@@ -340,6 +371,25 @@ let write_report path ~names ~bench_seconds ~outcomes ~total_seconds
                 if lookups = 0 then Obs.Json.Null
                 else num (float_of_int hits /. float_of_int lookups) );
             ] );
+        (* Additive since the streaming/compressed trace store: the
+           recording engine, the workload scale factor, and the summed
+           trace-store gauges.  [trace.ratio] is the live compression
+           ratio; under the streaming engine peak residency IS the
+           stored size, so raw/peak is the peak-memory reduction over
+           the buffered engine. *)
+        ("trace_engine", Obs.Json.String (Sim.Trace.engine_name !trace_engine));
+        ("scale", Obs.Json.Int !scale);
+        ( "trace",
+          Obs.Json.Obj
+            [
+              ("runs", Obs.Json.Int t_runs);
+              ("raw_bytes", Obs.Json.Int t_raw);
+              ("stored_bytes", Obs.Json.Int t_stored);
+              ("peak_resident_bytes", Obs.Json.Int t_peak);
+              ( "ratio",
+                if t_stored = 0 then Obs.Json.Null
+                else num (float_of_int t_raw /. float_of_int t_stored) );
+            ] );
         ( "telemetry_overhead",
           match overhead with
           | None -> Obs.Json.Null
@@ -354,6 +404,23 @@ let write_report path ~names ~bench_seconds ~outcomes ~total_seconds
   in
   Obs.Json.to_file path json;
   say "[bench report written to %s]" path
+
+(* One-line trace-store summary from the Sim.Trace gauges. *)
+let trace_store_summary () =
+  let g n = int_of_float (Obs.Metrics.gauge_value (Obs.Metrics.gauge n)) in
+  let raw = g "trace.raw_bytes" and stored = g "trace.compressed_bytes" in
+  let peak = g "trace.peak_resident_bytes" and runs = g "trace.runs" in
+  let kb b = float_of_int b /. 1024. in
+  if stored > 0 then begin
+    say "";
+    say
+      "=== trace store (%s engine, scale %d): %d runs, raw %.0f KB -> \
+       stored %.0f KB (%.1fx), peak resident %.0f KB ==="
+      (Sim.Trace.engine_name !trace_engine)
+      !scale runs (kb raw) (kb stored)
+      (float_of_int raw /. Float.max (float_of_int stored) 1.)
+      (kb peak)
+  end
 
 (* Trend figures: the Table 6 sweep as sparklines and the 2KB design
    point as a bar chart, natural vs optimized. *)
@@ -407,7 +474,7 @@ module Fixture = struct
   let program = Workloads.Bench.program bench
   let input = Vm.Io.input [ Workloads.Inputs.text ~seed:1 ~bytes:4_000 ]
   let profile = Vm.Profile.profile program [ input ]
-  let trace = Sim.Trace_gen.record program input
+  let trace = Sim.Trace.record program input
   let natural = Placement.Address_map.natural program
 
   let selections =
@@ -640,6 +707,7 @@ let () =
      (CI smoke, iteration) stops after its tables.  The engine-speedup
      and telemetry-overhead lines are always printed. *)
   if !only_ids = None then figures ctx;
+  trace_store_summary ();
   let engine = engine_speedup ctx in
   let overhead = telemetry_overhead ctx in
   if !only_ids = None then run_microbenchmarks ();

@@ -14,14 +14,14 @@ let () =
       ~inputs:(Workloads.Bench.profile_inputs bench)
   in
   let trace =
-    Sim.Trace_gen.record pl.Placement.Pipeline.program
+    Sim.Trace.record pl.Placement.Pipeline.program
       (Workloads.Bench.trace_input bench)
   in
   let simulate config map = Sim.Driver.simulate config map trace in
   let pct = Report.Fmtutil.pct in
 
   Printf.printf "benchmark %s: %d dynamic instructions, %d code bytes\n\n"
-    name trace.Sim.Trace_gen.result.Vm.Interp.dyn_insns
+    name (Sim.Trace.result trace).Vm.Interp.dyn_insns
     pl.Placement.Pipeline.optimized.Placement.Address_map.total_bytes;
 
   (* Associativity at 2KB/64B: does placement substitute for ways? *)

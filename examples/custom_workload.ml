@@ -131,7 +131,7 @@ let () =
       ~inputs:(Workloads.Bench.profile_inputs benchmark)
   in
   let trace =
-    Sim.Trace_gen.record pl.Placement.Pipeline.program
+    Sim.Trace.record pl.Placement.Pipeline.program
       (Workloads.Bench.trace_input benchmark)
   in
   List.iter

@@ -33,10 +33,10 @@ let () =
      strategy.  Adding a strategy to [Placement.Strategy.all] grows the
      table automatically. *)
   let trace =
-    Sim.Trace_gen.record program (Workloads.Bench.trace_input bench)
+    Sim.Trace.record program (Workloads.Bench.trace_input bench)
   in
   Printf.printf "\ntrace: %d dynamic instructions\n\n"
-    trace.Sim.Trace_gen.result.Vm.Interp.dyn_insns;
+    (Sim.Trace.result trace).Vm.Interp.dyn_insns;
   let strategies = Placement.Strategy.all in
   let maps =
     List.map (fun s -> Placement.Pipeline.map_for pl s) strategies

@@ -75,11 +75,11 @@ let () =
 
   (* Trace-driven cache simulation on a held-out input. *)
   let trace =
-    Sim.Trace_gen.record pl.Placement.Pipeline.program
+    Sim.Trace.record pl.Placement.Pipeline.program
       (Vm.Io.input [ Workloads.Inputs.text ~seed:99 ~bytes:40_000 ])
   in
   Printf.printf "trace: %d dynamic instructions\n"
-    trace.Sim.Trace_gen.result.Vm.Interp.dyn_insns;
+    (Sim.Trace.result trace).Vm.Interp.dyn_insns;
   let config = Icache.Config.make ~size:512 ~block:64 () in
   let natural = Sim.Driver.simulate config pl.Placement.Pipeline.natural trace in
   let optimized =

@@ -3,6 +3,12 @@
    results — all computed lazily and at most once, since every table
    draws on the same artifacts.
 
+   Traces are held as [Sim.Trace.t]: under the default [Streaming]
+   engine the VM streams blocks straight into the run-length/delta
+   compressing builder, so what the context memoizes is the compressed
+   store (typically ~10x smaller than the raw Bigarray vector the
+   [Buffered] engine keeps); replay is bit-identical either way.
+
    Address maps are produced per layout strategy through one memoized
    table ([strategy_map]); adding a strategy to [Placement.Strategy.all]
    makes it available to every experiment with no new plumbing here.
@@ -32,8 +38,8 @@ type entry = {
   lock : Mutex.t; (* guards every mutable/lazy field below *)
   pipeline : Placement.Pipeline.t Lazy.t;
   pipeline_noinline : Placement.Pipeline.t Lazy.t; (* inlining ablated *)
-  trace : Sim.Trace_gen.t Lazy.t; (* inlined program, trace input *)
-  original_trace : Sim.Trace_gen.t Lazy.t; (* pre-inlining program *)
+  trace : Sim.Trace.t Lazy.t; (* inlined program, trace input *)
+  original_trace : Sim.Trace.t Lazy.t; (* pre-inlining program *)
   lazy_original_map : Placement.Address_map.t Lazy.t;
   mutable strategy_maps : (string * Placement.Address_map.t) list;
       (* strategy id -> map of the inlined program under that strategy *)
@@ -42,7 +48,7 @@ type entry = {
          newest first (e.g. a strategy that raised and fell back) *)
   mutable scaled_maps : (float * Placement.Address_map.t) list;
   mutable map_ids : (Placement.Address_map.t * int) list;
-  mutable trace_ids : (Sim.Trace_gen.t * int) list;
+  mutable trace_ids : (Sim.Trace.t * int) list;
   sim_cache : (int * int * Icache.Config.t, Sim.Driver.result) Hashtbl.t;
 }
 
@@ -62,8 +68,9 @@ let strategy_fallbacks =
   Obs.Metrics.counter "context.strategy_fallbacks"
     ~help:"strategies that raised and fell back to the natural layout"
 
-let make_entry bench =
+let make_entry ~engine bench =
   let bench_attr = [ ("bench", bench.Workloads.Bench.name) ] in
+  let engine_attr = ("engine", Sim.Trace.engine_name engine) in
   let pipeline =
     lazy
       (Obs.Span.with_ ~stage:"pipeline" ~attrs:bench_attr (fun () ->
@@ -84,8 +91,10 @@ let make_entry bench =
   in
   let trace =
     lazy
-      (Obs.Span.with_ ~stage:"trace-record" ~attrs:bench_attr (fun () ->
-           Sim.Trace_gen.record
+      (Obs.Span.with_ ~stage:"trace-record"
+         ~attrs:(engine_attr :: bench_attr)
+         (fun () ->
+           Sim.Trace.record ~engine
              (Lazy.force pipeline).Placement.Pipeline.program
              (Workloads.Bench.trace_input bench)))
   in
@@ -94,9 +103,9 @@ let make_entry bench =
        the cleanup pass), so it matches original_map's labels. *)
     lazy
       (Obs.Span.with_ ~stage:"trace-record"
-         ~attrs:(("program", "original") :: bench_attr)
+         ~attrs:(engine_attr :: ("program", "original") :: bench_attr)
          (fun () ->
-           Sim.Trace_gen.record
+           Sim.Trace.record ~engine
              (Lazy.force pipeline).Placement.Pipeline.original
              (Workloads.Bench.trace_input bench)))
   in
@@ -123,13 +132,13 @@ let make_entry bench =
     sim_cache = Hashtbl.create 64;
   }
 
-let create ?names () =
+let create ?(engine = Sim.Trace.Streaming) ?(scale = 1) ?names () =
   let benches =
     match names with
-    | None -> Workloads.Registry.all
-    | Some names -> List.map Workloads.Registry.find names
+    | None -> Workloads.Registry.suite ~scale
+    | Some names -> List.map (Workloads.Registry.find ~scale) names
   in
-  List.map make_entry benches
+  List.map (make_entry ~engine) benches
 
 let entries t = t
 

@@ -9,21 +9,26 @@ type entry = {
   lock : Mutex.t;  (** guards every mutable/lazy field of the entry *)
   pipeline : Placement.Pipeline.t Lazy.t;
   pipeline_noinline : Placement.Pipeline.t Lazy.t;
-  trace : Sim.Trace_gen.t Lazy.t;
-  original_trace : Sim.Trace_gen.t Lazy.t;
+  trace : Sim.Trace.t Lazy.t;
+  original_trace : Sim.Trace.t Lazy.t;
   lazy_original_map : Placement.Address_map.t Lazy.t;
   mutable strategy_maps : (string * Placement.Address_map.t) list;
   mutable warnings : Ir.Diag.t list;
   mutable scaled_maps : (float * Placement.Address_map.t) list;
   mutable map_ids : (Placement.Address_map.t * int) list;
-  mutable trace_ids : (Sim.Trace_gen.t * int) list;
+  mutable trace_ids : (Sim.Trace.t * int) list;
   sim_cache : (int * int * Icache.Config.t, Sim.Driver.result) Hashtbl.t;
 }
 
 type t = entry list
 
-val create : ?names:string list -> unit -> t
-(** Default: the full ten-benchmark suite. *)
+val create :
+  ?engine:Sim.Trace.engine -> ?scale:int -> ?names:string list -> unit -> t
+(** Default: the full ten-benchmark suite at scale 1, recording traces
+    with the [Streaming] engine (born-compressed store; [Buffered] is
+    the raw reference representation — results are bit-identical either
+    way).  [scale] > 1 substitutes the scaled-up workload variants of
+    {!Workloads.Registry.suite}. *)
 
 val entries : t -> entry list
 
@@ -41,8 +46,8 @@ val find : t -> string -> entry
 val name : entry -> string
 val pipeline : entry -> Placement.Pipeline.t
 val pipeline_noinline : entry -> Placement.Pipeline.t
-val trace : entry -> Sim.Trace_gen.t
-val original_trace : entry -> Sim.Trace_gen.t
+val trace : entry -> Sim.Trace.t
+val original_trace : entry -> Sim.Trace.t
 val optimized_map : entry -> Placement.Address_map.t
 val natural_map : entry -> Placement.Address_map.t
 
@@ -76,7 +81,7 @@ val simulate :
   entry ->
   Icache.Config.t ->
   Placement.Address_map.t ->
-  Sim.Trace_gen.t ->
+  Sim.Trace.t ->
   Sim.Driver.result
 (** Trace-driven simulation, memoized per (map, trace, config) in a
     hashtable keyed on interned map/trace ids: design points shared
@@ -89,7 +94,7 @@ val simulate_many :
   entry ->
   Icache.Config.t list ->
   Placement.Address_map.t ->
-  Sim.Trace_gen.t ->
+  Sim.Trace.t ->
   Sim.Driver.result list
 (** Like {!simulate} for several configurations at once: every uncached
     configuration is simulated in a single pass over the trace via

@@ -19,23 +19,24 @@ type row = {
 
 let config = Paging.Page_sim.default_config (* 512B pages, 16 frames *)
 
-let run_one map trace =
+(* The page simulator as a block-source consumer: each executed block is
+   one (addr, words) run pushed into [Page_sim.access_run] — the same
+   sink contract the cache driver uses. *)
+let run_one map (source : Sim.Driver.source) =
   let sim = Paging.Page_sim.create config in
   let addr_of = map.Placement.Address_map.block_addr
   and words_of = map.Placement.Address_map.block_words in
-  Sim.Trace_gen.iter_blocks
-    (fun fid label ->
+  source (fun fid label ->
       Paging.Page_sim.access_run sim ~addr:addr_of.(fid).(label)
-        ~words:words_of.(fid).(label))
-    trace;
+        ~words:words_of.(fid).(label));
   sim
 
 let compute ctx =
   Context.map_entries
     (fun e ->
-      let trace = Context.trace e in
-      let nat = run_one (Context.natural_map e) trace in
-      let opt = run_one (Context.optimized_map e) trace in
+      let source = Sim.Trace.source (Context.trace e) in
+      let nat = run_one (Context.natural_map e) source in
+      let opt = run_one (Context.optimized_map e) source in
       {
         name = Context.name e;
         nat_pages = Paging.Page_sim.distinct_pages nat;

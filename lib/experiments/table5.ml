@@ -17,7 +17,7 @@ let compute ctx =
         name = Context.name e;
         total_static_bytes = map.Placement.Address_map.total_bytes;
         effective_static_bytes = map.Placement.Address_map.effective_bytes;
-        dynamic_accesses = Sim.Trace_gen.dyn_insns map (Context.trace e);
+        dynamic_accesses = Sim.Trace.dyn_insns map (Context.trace e);
       })
     ctx
 

@@ -26,10 +26,10 @@ let strategy_maps e =
    registered strategy's map (plus the pipeline's own two). *)
 let layout_invariance e : Ir.Diag.t list =
   let trace = Context.trace e in
-  let reference = Sim.Trace_gen.dyn_insns (Context.natural_map e) trace in
+  let reference = Sim.Trace.dyn_insns (Context.natural_map e) trace in
   List.concat_map
     (fun ((s : Placement.Strategy.t), map) ->
-      let n = Sim.Trace_gen.dyn_insns map trace in
+      let n = Sim.Trace.dyn_insns map trace in
       if n = reference then []
       else
         [
@@ -47,7 +47,7 @@ let simulation_cross_check e : Ir.Diag.t list =
   let trace = Context.trace e in
   List.concat_map
     (fun ((s : Placement.Strategy.t), map) ->
-      let expected = Sim.Trace_gen.dyn_insns map trace in
+      let expected = Sim.Trace.dyn_insns map trace in
       let r = Context.simulate e xcheck_config map trace in
       if r.Sim.Driver.accesses = expected then []
       else

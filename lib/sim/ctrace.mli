@@ -1,0 +1,66 @@
+(** Run-length/delta-compressed block trace.
+
+    Consecutive executed blocks very often have consecutive packed
+    codes, so the trace is stored as runs; and loops make the run
+    sequence itself repetitive, so equal-shaped consecutive runs
+    collapse into one record — the zigzag delta of each run's base from
+    the previous run's last code, with two flag bits marking an
+    optional length field (single-block runs pay nothing) and an
+    optional repeat count (non-repeating runs pay nothing).  Decoding
+    reproduces the
+    exact packed-code sequence, so replay is bit-identical to the
+    buffered {!Trace_gen} representation at a small fraction of the
+    resident bytes. *)
+
+open Ir
+
+type t = {
+  data : Bytes.t;  (** varint run tokens *)
+  runs : int;
+  nblocks : int;
+  result : Vm.Interp.result;
+}
+
+(** {2 Construction} *)
+
+type builder
+
+val builder : unit -> builder
+
+val push : builder -> int -> unit
+(** Append one packed block code (see {!Trace_gen.pack}). *)
+
+val push_block : builder -> int -> Cfg.label -> unit
+(** [push_block b fid label]: a {!Trace_gen.sink} over {!push}. *)
+
+val finish : builder -> Vm.Interp.result -> t
+
+val record : ?fuel:int -> Prog.program -> Vm.Io.input -> t
+(** Fused recording: the VM streams blocks straight into the compressing
+    builder ({!Trace_gen.stream}), so peak trace residency is the
+    compressed size — no raw vector ever exists.  Raises
+    {!Trace_gen.Too_many_blocks} like {!Trace_gen.record}. *)
+
+val of_trace_gen : Trace_gen.t -> t
+(** Compress an already-buffered trace (same codes, same order). *)
+
+(** {2 Replay} *)
+
+val iter_runs : (code:int -> len:int -> unit) -> t -> unit
+(** Decoded runs in order: [len] consecutive packed codes starting at
+    [code]. *)
+
+val iter_blocks : (int -> Cfg.label -> unit) -> t -> unit
+(** Every executed block as [(fid, label)], identical to the sequence
+    that was pushed. *)
+
+(** {2 Stats} *)
+
+val dyn_blocks : t -> int
+val runs : t -> int
+val compressed_bytes : t -> int
+
+val raw_bytes : t -> int
+(** Size of the equivalent buffered representation (8 bytes/block). *)
+
+val dyn_insns : Placement.Address_map.t -> t -> int

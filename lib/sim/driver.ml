@@ -12,12 +12,19 @@
    Two engines share these definitions:
    - [simulate] is the word-granular reference: every instruction fetch
      goes through [Icache.Cache.access] one at a time;
-   - [simulate_many] is the block-granular fast path: the block trace is
-     walked ONCE, each executed block becomes a single
+   - [simulate_source] is the block-granular fast path: the block source
+     is walked ONCE, each executed block becomes a single
      [Icache.Cache.access_run] call per configuration, and all
      configurations' caches, timers and run bookkeeping advance in the
      same pass.  Its results are bit-identical to the reference
-     (property-tested in test/test_fast_sim.ml). *)
+     (property-tested in test/test_fast_sim.ml).
+
+   The fast path consumes any re-walkable block [source] — a stored
+   trace (buffered or compressed, see [Trace]) or the VM itself
+   ([simulate_stream]), in which case a single execution feeds every
+   configuration with no materialized trace at all. *)
+
+type source = (int -> Ir.Cfg.label -> unit) -> unit
 
 type result = {
   config : Icache.Config.t;
@@ -51,7 +58,7 @@ let record_metrics (results : result list) =
 
 let simulate ?(timing_model = Icache.Timing.default_model)
     (config : Icache.Config.t) (map : Placement.Address_map.t)
-    (trace : Trace_gen.t) : result =
+    (trace : Trace.t) : result =
   Obs.Span.with_ ~stage:"simulate"
     ~attrs:[ ("engine", "reference"); ("config", Icache.Config.describe config) ]
   @@ fun () ->
@@ -105,7 +112,16 @@ let simulate ?(timing_model = Icache.Timing.default_model)
       end
     end
   in
-  Trace_gen.iter_fetches map trace ~fetch;
+  let addr_of = map.Placement.Address_map.block_addr in
+  let words_of = map.Placement.Address_map.block_words in
+  Trace.iter_blocks
+    (fun fid label ->
+      let base = addr_of.(fid).(label) in
+      let words = words_of.(fid).(label) in
+      for k = 0 to words - 1 do
+        fetch (base + (k * Ir.Insn.bytes_per_insn))
+      done)
+    trace;
   close_run ();
   let eat = function
     | [ b; s; p ] ->
@@ -218,8 +234,8 @@ let result_of st =
     eat_streaming_partial;
   }
 
-let simulate_many_serial ?(timing_model = Icache.Timing.default_model) configs
-    (map : Placement.Address_map.t) (trace : Trace_gen.t) : result list =
+let simulate_source_serial ?(timing_model = Icache.Timing.default_model)
+    configs (map : Placement.Address_map.t) (source : source) : result list =
   Obs.Span.with_ ~stage:"simulate"
     ~attrs:
       [
@@ -258,7 +274,7 @@ let simulate_many_serial ?(timing_model = Icache.Timing.default_model) configs
   let nstates = Array.length states_arr in
   let addr_of = map.Placement.Address_map.block_addr in
   let words_of = map.Placement.Address_map.block_words in
-  Trace_gen.iter_blocks
+  source
     (fun fid label ->
       let base = addr_of.(fid).(label) in
       let words = words_of.(fid).(label) in
@@ -282,11 +298,13 @@ let simulate_many_serial ?(timing_model = Icache.Timing.default_model) configs
           if tail > 0 then
             apply_hits st tail ~first_seq:(st.next_at > 0 || st.block_seq);
           st.prev_addr <- base + ((words - 1) * Icache.Config.word_bytes)
-        done)
-    trace;
+        done);
   let results = List.map result_of states in
   record_metrics results;
   results
+
+let simulate_many_serial ?timing_model configs map trace =
+  simulate_source_serial ?timing_model configs map (Trace.source trace)
 
 (* Split [xs] into [k] contiguous runs whose lengths differ by at most
    one, longer runs first — concatenating the runs rebuilds [xs]. *)
@@ -309,17 +327,19 @@ let partition k xs =
   in
   go 0 xs
 
-let simulate_many ?timing_model configs map trace =
+let simulate_source ?timing_model configs map (source : source) =
   match Placement.Pool.default () with
   | Some pool
     when Placement.Pool.lanes pool > 1
          && List.compare_length_with configs 2 >= 0 ->
     (* Each configuration's cache state is independent, so a contiguous
        partition of the config list simulated per-chunk and concatenated
-       in order is bit-identical to the serial sweep; only the trace
-       replay cost is shared.  The chunk count matches the lane count:
-       replaying the trace is the dominant cost, so finer chunks would
-       replay it more times for no balance win. *)
+       in order is bit-identical to the serial sweep; only the source
+       walk cost is shared.  The chunk count matches the lane count:
+       re-walking the source is the dominant cost, so finer chunks would
+       walk it more times for no balance win.  The source must therefore
+       be re-walkable and domain-safe (stored traces are; a raw VM feed
+       is re-executed per chunk — prefer {!simulate_stream} for that). *)
     Obs.Span.with_ ~stage:"simulate"
       ~attrs:
         [
@@ -331,9 +351,30 @@ let simulate_many ?timing_model configs map trace =
     let k = min (Placement.Pool.lanes pool) (List.length configs) in
     List.concat
       (Placement.Pool.map pool
-         (fun chunk -> simulate_many_serial ?timing_model chunk map trace)
+         (fun chunk -> simulate_source_serial ?timing_model chunk map source)
          (partition k configs))
-  | _ -> simulate_many_serial ?timing_model configs map trace
+  | _ -> simulate_source_serial ?timing_model configs map source
+
+let simulate_many ?timing_model configs map trace =
+  simulate_source ?timing_model configs map (Trace.source trace)
 
 let simulate_all ?timing_model configs map trace =
   simulate_many ?timing_model configs map trace
+
+(* Fused VM->cache engine: one interpreter execution pushes its block
+   stream straight into every configuration's cache state, with no
+   stored trace of any kind.  Always serial — the whole point is the
+   single walk. *)
+let simulate_stream ?timing_model ?fuel configs
+    (map : Placement.Address_map.t) (prog : Ir.Prog.program)
+    (input : Vm.Io.input) : result list * Vm.Interp.result =
+  let vm_result = ref None in
+  let results =
+    simulate_source_serial ?timing_model configs map (fun f ->
+        vm_result := Some (Trace_gen.stream ?fuel prog input ~sink:f))
+  in
+  match !vm_result with
+  | Some r -> (results, r)
+  | None ->
+    Ir.Diag.error ~stage:Ir.Diag.Simulation
+      "fused simulation finished without executing the program"

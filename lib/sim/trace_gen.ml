@@ -23,20 +23,29 @@ type t = {
 
 exception Too_many_blocks of string
 
-let record ?fuel (prog : Prog.program) (input : Vm.Io.input) : t =
+type sink = int -> Cfg.label -> unit
+
+(* Stream the execution's block sequence into [sink] with no buffering:
+   the push-based VM->consumer path.  Every trace consumer (buffered
+   recording below, the compressed store, the fused simulation engine)
+   is a sink over this one entry point. *)
+let stream ?fuel (prog : Prog.program) (input : Vm.Io.input) ~(sink : sink) :
+    Vm.Interp.result =
   Array.iter
     (fun (f : Prog.func) ->
       if Array.length f.blocks > label_mask then
         raise (Too_many_blocks f.name))
     prog.funcs;
+  Vm.Interp.run ~block_sink:sink ?fuel prog input
+
+(* The buffered path: one sink implementation that appends packed codes
+   to a growable vector. *)
+let record ?fuel (prog : Prog.program) (input : Vm.Io.input) : t =
   let blocks = Ivec.create ~capacity:65536 () in
-  let observer =
-    {
-      Vm.Interp.null_observer with
-      on_block = (fun fid label -> Ivec.push blocks (pack fid label));
-    }
+  let result =
+    stream ?fuel prog input ~sink:(fun fid label ->
+        Ivec.push blocks (pack fid label))
   in
-  let result = Vm.Interp.run ~observer ?fuel prog input in
   { blocks; result }
 
 let dyn_blocks t = Ivec.length t.blocks

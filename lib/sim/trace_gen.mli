@@ -18,8 +18,21 @@ val pack : int -> Cfg.label -> int
 val unpack_fid : int -> int
 val unpack_label : int -> Cfg.label
 
+type sink = int -> Cfg.label -> unit
+(** A block consumer: [sink fid label] receives every executed block in
+    execution order.  Under an address map each block is one [(base,
+    len)] fetch run, so a sink is exactly a push-based fetch-run
+    consumer. *)
+
+val stream :
+  ?fuel:int -> Prog.program -> Vm.Io.input -> sink:sink -> Vm.Interp.result
+(** Execute and push every block straight into [sink] with no
+    intermediate buffer.  Raises {!Too_many_blocks} if a function exceeds
+    the packing capacity (2^20 blocks). *)
+
 val record : ?fuel:int -> Prog.program -> Vm.Io.input -> t
-(** Execute and capture.  Raises {!Too_many_blocks} if a function exceeds
+(** Execute and capture into a buffered trace ({!stream} with an
+    appending sink).  Raises {!Too_many_blocks} if a function exceeds
     the packing capacity (2^20 blocks). *)
 
 val dyn_blocks : t -> int

@@ -101,8 +101,24 @@ let exec_insn st regs insn =
     Memory.write32 st.mem (ev regs b + ev regs o) (ev regs value)
   | Insn.Intrin (intr, dst, args) -> exec_intrin st regs intr dst args
 
-let run ?(observer = null_observer) ?(fuel = 2_000_000_000)
+let run ?(observer = null_observer) ?block_sink ?(fuel = 2_000_000_000)
     (prog : Prog.program) (input : Io.input) : result =
+  (* A block sink is a second, lightweight block observer used by the
+     streaming trace path: composing it into the observer here keeps the
+     hot loop at exactly one indirect call per block when no sink is
+     attached. *)
+  let observer =
+    match block_sink with
+    | None -> observer
+    | Some sink ->
+      {
+        observer with
+        on_block =
+          (fun fid label ->
+            observer.on_block fid label;
+            sink fid label);
+      }
+  in
   let io = Io.of_input input in
   let st =
     {

@@ -32,7 +32,18 @@ type result = {
 }
 
 val run :
-  ?observer:observer -> ?fuel:int -> Prog.program -> Io.input -> result
+  ?observer:observer ->
+  ?block_sink:(int -> Cfg.label -> unit) ->
+  ?fuel:int ->
+  Prog.program ->
+  Io.input ->
+  result
 (** Execute the program to completion.  Raises {!Fault} on VM errors
     (division by zero, bad memory access, abort, fuel exhaustion — default
-    fuel 2e9 instructions). *)
+    fuel 2e9 instructions).
+
+    [block_sink fid label] is called for every executed block, after the
+    observer's [on_block].  It is the push-based trace path: a sink
+    streams fetch runs straight into a consumer (cache simulator,
+    compressed trace builder) with no intermediate buffer, and costs
+    nothing when absent. *)

@@ -446,3 +446,66 @@ let link ?(globals = []) ~entry funcs_list : Ir.Ast.program =
     funcs = funcs_list @ funcs;
     entry;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Generated surface extension                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Extra buffer routines for the scaled workload variants (see [Scale]):
+   [count] generated functions cycling through three shapes — rolling
+   digest, in-place blend, run-counting scan — with per-function
+   multipliers and strides so every instance lowers to distinct code.
+   They are not part of [funcs]/[link]: only scaled programs carry them,
+   which is what grows the library surface beyond the paper's. *)
+let surface ~count : Ir.Ast.func list =
+  List.init count (fun m ->
+      let name = Printf.sprintf "xlib_%d" m in
+      let mult = 31 + (2 * (m mod 7)) in
+      let stride = 1 + (m mod 3) in
+      match m mod 3 with
+      | 0 ->
+        (* rolling digest over the buffer *)
+        func name [ "buf"; "len" ]
+          [
+            decl "h" (i (40503 + (mult * 97)));
+            decl "k" (i 0);
+            while_ (v "k" <% v "len")
+              [
+                set "h"
+                  (((v "h" *% i mult) ^% ld8 (v "buf" +% v "k")) &% i 0xffffff);
+                set "k" (v "k" +% i stride);
+              ];
+            ret (v "h");
+          ]
+      | 1 ->
+        (* blend the buffer in place *)
+        func name [ "buf"; "len" ]
+          [
+            decl "k" (i 0);
+            decl "c" (i (mult land 0xff));
+            while_ (v "k" <% v "len")
+              [
+                set "c" ((v "c" +% ld8 (v "buf" +% v "k")) &% i 0xff);
+                st8 (v "buf" +% v "k") (v "c");
+                set "k" (v "k" +% i stride);
+              ];
+            ret (v "c");
+          ]
+      | _ ->
+        (* scan for the maximum byte, counting value runs *)
+        func name [ "buf"; "len" ]
+          [
+            decl "best" (i (-1));
+            decl "runs" (i 0);
+            decl "prev" (i (-1));
+            decl "k" (i 0);
+            while_ (v "k" <% v "len")
+              [
+                decl "b" (ld8 (v "buf" +% v "k"));
+                when_ (v "b" >% v "best") [ set "best" (v "b") ];
+                when_ (v "b" <>% v "prev") [ incr_ "runs" ];
+                set "prev" (v "b");
+                set "k" (v "k" +% i stride);
+              ];
+            ret ((v "best" <<% i 8) +% v "runs");
+          ])

@@ -18,3 +18,8 @@ val link :
   Ir.Ast.program
 (** [link ~globals ~entry workload_funcs] assembles a complete program:
     the workload's globals and functions plus the library. *)
+
+val surface : count:int -> Ir.Ast.func list
+(** [count] generated buffer routines (digest / blend / scan shapes) for
+    the scaled workload variants; not part of {!funcs} or {!link} — only
+    scaled programs ({!Scale.apply}) carry them. *)

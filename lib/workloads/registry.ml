@@ -17,9 +17,16 @@ let all : Bench.t list =
 
 let names = List.map (fun b -> b.Bench.name) all
 
+(* The suite at a given scale factor: 1 is the paper's programs as-is;
+   above 1 every benchmark is wrapped in the [Scale] auxiliary program.
+   Scaled Bench values are cheap shells (ASTs and inputs stay lazy), so
+   no memoization is needed here. *)
+let suite ~scale =
+  if scale <= 1 then all else List.map (Scale.apply ~scale) all
+
 exception Unknown_benchmark of string
 
-let find name =
+let find ?(scale = 1) name =
   match List.find_opt (fun b -> b.Bench.name = name) all with
-  | Some b -> b
+  | Some b -> if scale <= 1 then b else Scale.apply ~scale b
   | None -> raise (Unknown_benchmark name)

@@ -6,5 +6,10 @@ exception Unknown_benchmark of string
 val all : Bench.t list
 val names : string list
 
-val find : string -> Bench.t
+val suite : scale:int -> Bench.t list
+(** The suite at a scale factor: [scale <= 1] is {!all}; above 1 every
+    benchmark is the {!Scale.apply} variant (same names, bigger code and
+    longer traces). *)
+
+val find : ?scale:int -> string -> Bench.t
 (** Raises {!Unknown_benchmark}. *)

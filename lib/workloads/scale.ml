@@ -1,0 +1,154 @@
+(* Scaled-up workload variants.
+
+   The paper's benchmarks are small enough that everything but yacc fits
+   a 64KB cache trivially, so the large end of the sweep measures
+   nothing.  [apply ~scale] grows a benchmark's code footprint and trace
+   length by welding a generated auxiliary program onto its AST:
+
+   - switch-based DFA evaluators ([xscale_dfa_*]) — wide dispatch over
+     many states, the dominant code-size term;
+   - a deep call chain ([xscale_chain_*]) that threads every DFA, so the
+     call graph gains [4*scale] levels of depth;
+   - a wide classifier switch ([xscale_class]) cycled through all its
+     arms;
+   - extra library surface ([Libc.surface]), exercised through a
+     dispatch switch so every generated routine is hot.
+
+   The auxiliary code does no I/O and the wrapper entry returns exactly
+   the original entry's value, so a scaled benchmark consumes the same
+   inputs and produces the same output streams as the original — only
+   the instruction-fetch behavior changes.  All generated names carry
+   the [xscale_]/[xlib_] prefixes, which no workload or library function
+   uses. *)
+
+open Ir.Ast.Dsl
+
+(* Knobs, all derived from the single [scale] factor (>= 2). *)
+let ndfa scale = 2 + (2 * scale)
+let nstates scale idx = 16 + (4 * scale) - (2 * (idx mod 3))
+let depth scale = 4 * scale
+let ncases scale = 32 + (16 * scale)
+let nlib scale = 2 + scale
+let iters scale = 8 * scale
+let dfa_steps = 12
+
+let dfa_name idx = Printf.sprintf "xscale_dfa_%d" idx
+let chain_name idx = Printf.sprintf "xscale_chain_%d" idx
+let lib_name idx = Printf.sprintf "xlib_%d" idx
+
+(* A DFA evaluator: [steps] rounds of a switch over [n] states.  Each
+   arm updates the accumulator with its own constants and the next state
+   mixes in the accumulator, so the visited-state sequence is chaotic
+   and most arms are hot.  A negative scrutinee (accumulator arithmetic
+   wraps) lands in the default arm, which resets the state. *)
+let dfa_func ~n idx =
+  let arm s =
+    ( [ s ],
+      [
+        set "acc" ((v "acc" *% i (17 + (2 * (s mod 9)))) +% i (s + idx + 1));
+        set "s" (i (((s * 5) + 3) mod n));
+      ] )
+  in
+  func (dfa_name idx) [ "x"; "steps" ]
+    [
+      decl "s" (v "x" %% i n);
+      decl "acc" (i (idx + 1));
+      decl "k" (i 0);
+      while_ (v "k" <% v "steps")
+        [
+          switch (v "s") (List.init n arm) [ set "s" (i 0) ];
+          set "s" ((v "s" +% (v "acc" %% i 3)) %% i n);
+          incr_ "k";
+        ];
+      ret (v "acc");
+    ]
+
+(* One level of the call chain: evaluate a DFA, then recurse one level
+   deeper (the last level bottoms out on its argument). *)
+let chain_func ~scale idx =
+  let deeper =
+    if idx + 1 < depth scale then call (chain_name (idx + 1)) [ v "x" +% i 1 ]
+    else v "x"
+  in
+  func (chain_name idx) [ "x" ]
+    [
+      decl "a" (call (dfa_name (idx mod ndfa scale)) [ v "x" +% i idx; i dfa_steps ]);
+      decl "b" deeper;
+      ret ((v "a" ^% v "b") +% i idx);
+    ]
+
+(* A wide classifier: one switch with [ncases] tiny arms.  Driven with
+   the loop counter so the arms are visited round-robin. *)
+let class_func ~scale =
+  let n = ncases scale in
+  func "xscale_class" [ "c" ]
+    [
+      switch
+        (v "c" %% i n)
+        (List.init n (fun s -> ([ s ], [ ret (i (((s * 2654435761) lsr 8) land 0xffff)) ])))
+        [ ret (i 0) ];
+    ]
+
+(* The auxiliary driver: fill a scratch buffer, then [iters] rounds of
+   chain + classifier + library dispatch. *)
+let main_func ~scale =
+  let lib_dispatch =
+    switch
+      (v "k" %% i (nlib scale))
+      (List.init (nlib scale) (fun m ->
+           ( [ m ],
+             [ set "acc" (v "acc" ^% call (lib_name m) [ v "buf"; i 256 ]) ] )))
+      []
+  in
+  func "xscale_main" [ "iters" ]
+    [
+      decl "buf" (alloc (i 256));
+      decl "j" (i 0);
+      while_ (v "j" <% i 256)
+        [
+          st8 (v "buf" +% v "j") (((v "j" *% i 31) +% i 7) &% i 0xff);
+          incr_ "j";
+        ];
+      decl "acc" (i 0);
+      decl "k" (i 0);
+      while_ (v "k" <% v "iters")
+        [
+          set "acc" (v "acc" ^% call (chain_name 0) [ v "k" ]);
+          set "acc" (v "acc" +% call "xscale_class" [ v "k" ]);
+          lib_dispatch;
+          incr_ "k";
+        ];
+      ret (v "acc");
+    ]
+
+(* Wrapper entry: run the auxiliary program, then the original entry.
+   [aux - aux] keeps the auxiliary result live through lowering while
+   returning exactly the original value, so scaled and unscaled runs
+   have identical outputs and return values. *)
+let entry_func ~scale ~original_entry =
+  func "xscale_entry" []
+    [
+      decl "aux" (call "xscale_main" [ i (iters scale) ]);
+      decl "r" (call original_entry []);
+      ret (v "r" +% (v "aux" -% v "aux"));
+    ]
+
+let transform ~scale (p : Ir.Ast.program) : Ir.Ast.program =
+  let aux =
+    List.init (ndfa scale) (fun idx -> dfa_func ~n:(nstates scale idx) idx)
+    @ List.init (depth scale) (fun idx -> chain_func ~scale idx)
+    @ [ class_func ~scale; main_func ~scale ]
+    @ Libc.surface ~count:(nlib scale)
+    @ [ entry_func ~scale ~original_entry:p.Ir.Ast.entry ]
+  in
+  { p with Ir.Ast.funcs = p.Ir.Ast.funcs @ aux; entry = "xscale_entry" }
+
+let apply ~scale (b : Bench.t) : Bench.t =
+  if scale <= 1 then b
+  else
+    Bench.make ~name:b.Bench.name
+      ~description:
+        (Printf.sprintf "%s [scaled x%d]" b.Bench.description scale)
+      ~ast:(fun () -> transform ~scale (Bench.ast b))
+      ~profile_inputs:(fun () -> Bench.profile_inputs b)
+      ~trace_input:(fun () -> Bench.trace_input b)

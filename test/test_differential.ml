@@ -77,7 +77,9 @@ let prop_layouts_agree_on_accesses =
       let p = Ir.Lower.program ast in
       let pl = Placement.Pipeline.run p ~inputs:[ Vm.Io.input [] ] in
       let trace =
-        Sim.Trace_gen.record pl.Placement.Pipeline.program (Vm.Io.input [])
+        Sim.Trace.of_gen
+          (Sim.Trace_gen.record pl.Placement.Pipeline.program
+             (Vm.Io.input []))
       in
       let config = Icache.Config.make ~size:512 ~block:32 () in
       let program = pl.Placement.Pipeline.program in

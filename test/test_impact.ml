@@ -20,6 +20,7 @@ let () =
       ("validate", Test_validate.suite);
       ("differential", Test_differential.suite);
       ("fast_sim", Test_fast_sim.suite);
+      ("stream", Test_stream.suite);
       ("shapes", Test_shapes.suite);
       ("obs", Test_obs.suite);
       ("analysis", Test_analysis.suite);

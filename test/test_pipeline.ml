@@ -83,8 +83,9 @@ let optimized_not_worse () =
     (fun name ->
       let p = run_pipeline name in
       let trace =
-        Sim.Trace_gen.record p.Placement.Pipeline.program
-          (List.hd (small_inputs name))
+        Sim.Trace.of_gen
+          (Sim.Trace_gen.record p.Placement.Pipeline.program
+             (List.hd (small_inputs name)))
       in
       let config = Icache.Config.make ~size:2048 ~block:64 () in
       let opt =
