@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make ci` on every PR.
 
-.PHONY: all build test bench bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke par-smoke stream-smoke ci clean
+.PHONY: all build test bench bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke par-smoke stream-smoke serve-smoke ci clean
 
 all: build
 
@@ -93,7 +93,25 @@ stream-smoke:
 	cmp _stream/t6-scale-j1.txt _stream/t6-scale-j2.txt
 	dune exec bin/checkjson.exe -- BENCH_pr7.json
 
-ci: build test bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke par-smoke stream-smoke
+# Layout service end to end: the committed golden request stream must
+# replay byte-identically to the committed responses (serially and with
+# a 2-lane pool), a 200-request seeded chaos campaign must finish with
+# zero crashes and one well-formed response per request, and the chaos
+# report plus the replayed responses must re-parse with checkjson.
+serve-smoke:
+	rm -rf _serve && mkdir -p _serve
+	dune exec bin/serve.exe -- --replay test/vectors/serve/requests.ndjson \
+	  --expect test/vectors/serve/responses.ndjson -b cmp -q -j 1
+	dune exec bin/serve.exe -- --replay test/vectors/serve/requests.ndjson \
+	  -b cmp -q -j 2 > _serve/replay-j2.ndjson
+	cmp _serve/replay-j2.ndjson test/vectors/serve/responses.ndjson
+	dune exec bin/serve.exe -- --chaos --chaos-n 200 \
+	  --chaos-out _serve/chaos.json -q
+	dune exec bin/checkjson.exe -- _serve/chaos.json
+	dune exec bin/checkjson.exe -- --ndjson _serve/replay-j2.ndjson \
+	  test/vectors/serve/responses.ndjson
+
+ci: build test bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke par-smoke stream-smoke serve-smoke
 
 clean:
 	dune clean

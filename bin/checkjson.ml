@@ -1,24 +1,89 @@
 (* checkjson — CI helper: verify that each FILE argument parses as JSON
-   with the in-tree parser ([Obs.Json]).  Exit 0 when every file parses,
-   1 on the first malformed file, 2 on usage errors.  Used by the
-   `obs-smoke' make target to validate `--trace-out' / `--json' output
-   without external tooling. *)
+   with the in-tree parser ([Obs.Json]) and, when a document carries a
+   top-level "schema" field, that the schema is one this repository
+   emits.  `--ndjson` treats each file as newline-delimited JSON and
+   checks every non-blank line (the layout service's wire format).
+
+   Exit codes: 0 when every file passes; 1 on the first malformed
+   document; 2 on usage errors; 3 when every document parses but one
+   declares an unknown schema — a distinct code so CI can tell "broken
+   JSON" from "valid JSON of a version this tree does not speak". *)
+
+let known_schemas =
+  [
+    "impact.table-run/v1";
+    "impact.bench/v1";
+    "impact.lint/v1";
+    "impact.serve/v1";
+    "impact.serve-chaos/v1";
+  ]
+
+type verdict = { mutable parse_failed : bool; mutable bad_schema : bool }
+
+let check_schema v ~where json =
+  match json with
+  | Obs.Json.Obj _ -> (
+      match Obs.Json.member "schema" json with
+      | None -> ()  (* schema-less documents (e.g. Chrome traces) are fine *)
+      | Some (Obs.Json.String s) when List.mem s known_schemas -> ()
+      | Some (Obs.Json.String s) ->
+          Printf.eprintf "checkjson: %s: unknown schema %S\n" where s;
+          v.bad_schema <- true
+      | Some _ ->
+          Printf.eprintf "checkjson: %s: schema must be a string\n" where;
+          v.bad_schema <- true)
+  | _ -> ()
+
+let check_ndjson v path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let ok = ref true in
+        let line_no = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             incr line_no;
+             if String.trim line <> "" then
+               let where = Printf.sprintf "%s:%d" path !line_no in
+               match Obs.Json.parse line with
+               | Ok json ->
+                   let before = v.bad_schema in
+                   check_schema v ~where json;
+                   if v.bad_schema <> before then ok := false
+               | Error msg ->
+                   Printf.eprintf "checkjson: %s: %s\n" where msg;
+                   v.parse_failed <- true;
+                   ok := false
+           done
+         with End_of_file -> ());
+        if !ok then Printf.printf "checkjson: ok %s (%d lines)\n" path !line_no)
+
+let check_file v ~ndjson path =
+  try
+    if ndjson then check_ndjson v path
+    else
+      match Obs.Json.of_file path with
+      | Ok json ->
+          let before = v.bad_schema in
+          check_schema v ~where:path json;
+          if v.bad_schema = before then Printf.printf "checkjson: ok %s\n" path
+      | Error msg ->
+          Printf.eprintf "checkjson: %s: %s\n" path msg;
+          v.parse_failed <- true
+  with Sys_error msg ->
+    (* an unreadable file is a failed check, not a crash *)
+    Printf.eprintf "checkjson: %s\n" msg;
+    v.parse_failed <- true
 
 let () =
-  let files = List.tl (Array.to_list Sys.argv) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let ndjson = List.mem "--ndjson" args in
+  let files = List.filter (fun a -> a <> "--ndjson") args in
   if files = [] then (
-    prerr_endline "usage: checkjson FILE...";
+    prerr_endline "usage: checkjson [--ndjson] FILE...";
     exit 2);
-  let ok =
-    List.fold_left
-      (fun ok path ->
-        match Obs.Json.of_file path with
-        | Ok _ ->
-          Printf.printf "checkjson: ok %s\n" path;
-          ok
-        | Error msg ->
-          Printf.eprintf "checkjson: %s: %s\n" path msg;
-          false)
-      true files
-  in
-  exit (if ok then 0 else 1)
+  let v = { parse_failed = false; bad_schema = false } in
+  List.iter (check_file v ~ndjson) files;
+  if v.parse_failed then exit 1 else if v.bad_schema then exit 3 else exit 0

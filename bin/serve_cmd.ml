@@ -1,0 +1,361 @@
+(* serve — the fault-tolerant layout service.
+
+   Modes:
+   - default: speak `impact.serve/v1` over stdio (one JSON request per
+     line in, one response per line out).
+   - --socket PATH: same protocol over a Unix socket, connections
+     served sequentially.
+   - --sample: print a deterministic request stream exercising the ok,
+     error, timeout and degradation paths — the golden-vector input.
+   - --replay FILE [--expect FILE]: run a request file through the full
+     batched serve loop and print the responses; with --expect, compare
+     byte-for-byte against the recorded responses and fail on the first
+     divergence (the determinism gate: `-j 1` and `-j N` must agree
+     with the recording exactly).
+   - --chaos: run the seeded fault-injection campaign and fail unless
+     every contract holds. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Daemon configuration flags                                          *)
+(* ------------------------------------------------------------------ *)
+
+let benches_arg =
+  let doc = "Resident benchmarks (default: the full ten-program suite)." in
+  Arg.(value & opt (some (list string)) None & info [ "b"; "benchmarks" ] ~doc)
+
+let scale_arg =
+  let doc = "Workload scale factor of the resident contexts." in
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc = "Default per-request deadline in milliseconds." in
+  Arg.(
+    value
+    & opt int Serve.Daemon.default_config.deadline_ms
+    & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let max_bytes_arg =
+  let doc = "Maximum request-line size in bytes." in
+  Arg.(
+    value
+    & opt int Serve.Daemon.default_config.max_request_bytes
+    & info [ "max-request-bytes" ] ~docv:"N" ~doc)
+
+let cap_arg name default doc =
+  Arg.(value & opt (some int) default & info [ name ] ~docv:"N" ~doc)
+
+let profile_cap_arg =
+  cap_arg "profile-cap" Serve.Daemon.default_config.profile_cap
+    "LRU bound on named profiles in the store."
+
+let memo_cap_arg =
+  cap_arg "memo-cap" Serve.Daemon.default_config.memo_cap
+    "Per-benchmark LRU bound on memoized simulation results."
+
+let strategy_cap_arg =
+  cap_arg "strategy-cap" Serve.Daemon.default_config.strategy_cap
+    "Per-benchmark LRU bound on memoized strategy maps."
+
+let map_cap_arg =
+  let doc = "LRU bound on custom-profile address maps." in
+  Arg.(
+    value
+    & opt int Serve.Daemon.default_config.map_cap
+    & info [ "map-cap" ] ~docv:"N" ~doc)
+
+let window_arg =
+  let doc = "Live epochs per profile (older uploads are stale)." in
+  Arg.(
+    value
+    & opt int Serve.Daemon.default_config.epoch_window
+    & info [ "epoch-window" ] ~docv:"N" ~doc)
+
+let config_term =
+  Term.(
+    const (fun benches scale deadline_ms max_request_bytes profile_cap
+               memo_cap strategy_cap map_cap epoch_window ->
+        {
+          Serve.Daemon.default_config with
+          benches;
+          scale;
+          deadline_ms;
+          max_request_bytes;
+          profile_cap;
+          memo_cap;
+          strategy_cap;
+          map_cap;
+          epoch_window;
+        })
+    $ benches_arg $ scale_arg $ deadline_arg $ max_bytes_arg
+    $ profile_cap_arg $ memo_cap_arg $ strategy_cap_arg $ map_cap_arg
+    $ window_arg)
+
+let jobs_term =
+  let doc =
+    "Use $(docv) domains for read-only request batches.  Responses are \
+     byte-identical to $(b,-j 1)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let quiet_arg =
+  let doc = "Suppress warning chatter on stderr." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let metrics_arg =
+  let doc =
+    "Enable the metrics registry and write its text dump to $(docv) on \
+     exit ($(b,-) writes to stderr)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let with_parallel jobs f =
+  if jobs < 1 then failwith (Printf.sprintf "-j must be >= 1 (got %d)" jobs)
+  else if jobs = 1 then f ()
+  else begin
+    let pool = Placement.Pool.create jobs in
+    Placement.Pool.set_default (Some pool);
+    Fun.protect
+      ~finally:(fun () ->
+        Placement.Pool.set_default None;
+        Placement.Pool.shutdown pool)
+      f
+  end
+
+let with_telemetry ~quiet ~metrics_out f =
+  Obs.Log.set_quiet quiet;
+  if metrics_out <> None then Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Option.iter Obs.Metrics.write metrics_out) f
+
+(* ------------------------------------------------------------------ *)
+(* Modes                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let read_lines path =
+  In_channel.with_open_bin path @@ fun ic ->
+  let rec go acc =
+    match In_channel.input_line ic with
+    | Some l -> go (l :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+(* A deterministic request stream exercising every response path: ok
+   layouts and lints, named-profile uploads (one flow-conserving, one
+   poisoning), degradation tiers, timeouts, and the malformed-input
+   family.  `--sample > requests.ndjson` is how the golden vector input
+   is produced. *)
+let sample_lines config =
+  let bench =
+    match config.Serve.Daemon.benches with
+    | Some (b :: _) -> b
+    | _ -> List.hd Workloads.Registry.names
+  in
+  let daemon = Serve.Daemon.create ~config () in
+  let entry = Experiments.Context.find (Serve.Daemon.context daemon) bench in
+  let pipe = Experiments.Context.pipeline entry in
+  let j = Obs.Json.to_string in
+  let req ~id ~typ fields =
+    j
+      (Obs.Json.Obj
+         ([
+            ("schema", Obs.Json.String Serve.Protocol.schema);
+            ("id", Obs.Json.Int id);
+            ("type", Obs.Json.String typ);
+          ]
+         @ fields))
+  in
+  let layout ~id fields =
+    req ~id ~typ:"layout-request"
+      (("bench", Obs.Json.String bench) :: fields)
+  in
+  [
+    req ~id:1 ~typ:"stats" [];
+    layout ~id:2 [ ("strategy", Obs.Json.String "impact") ];
+    layout ~id:3
+      [
+        ("strategy", Obs.Json.String "ph");
+        ( "cache",
+          Obs.Json.Obj
+            [ ("size", Obs.Json.Int 1024); ("block", Obs.Json.Int 32) ] );
+      ];
+    req ~id:4 ~typ:"lint-request" [ ("bench", Obs.Json.String bench) ];
+    j
+      (Serve.Protocol.upload_request_of_profile ~id:(Obs.Json.Int 5)
+         ~name:"golden" ~bench ~epoch:1 pipe.Placement.Pipeline.profile);
+    layout ~id:6
+      [
+        ("strategy", Obs.Json.String "exttsp");
+        ("profile", Obs.Json.String "golden");
+      ];
+    (* Structurally valid but not flow-conserving: poisons "golden",
+       pinning readers to the epoch-1 snapshot. *)
+    req ~id:7 ~typ:"profile-upload"
+      [
+        ("profile", Obs.Json.String "golden");
+        ("bench", Obs.Json.String bench);
+        ("epoch", Obs.Json.Int 2);
+        ( "entries",
+          Obs.Json.List [ Obs.Json.List [ Obs.Json.Int 0; Obs.Json.Int 7 ] ]
+        );
+      ];
+    layout ~id:8
+      [
+        ("strategy", Obs.Json.String "exttsp");
+        ("profile", Obs.Json.String "golden");
+      ];
+    layout ~id:9 [ ("deadline_ms", Obs.Json.Int 0) ];
+    layout ~id:10 [ ("deadline_ms", Obs.Json.Int 1) ];
+    layout ~id:11 [ ("strategy", Obs.Json.String "no-such-strategy") ];
+    req ~id:12 ~typ:"layout-request" [ ("bench", Obs.Json.String "no-such-bench") ];
+    {|{"schema":"impact.serve/v1","id":13,"type":|};
+    {|{"schema":"impact.serve/v99","id":14,"type":"stats"}|};
+    req ~id:15 ~typ:"stats" [];
+    req ~id:16 ~typ:"shutdown" [];
+  ]
+
+let first_divergence (got : string list) (want : string list) =
+  let rec go i g w =
+    match (g, w) with
+    | [], [] -> None
+    | g :: _, [] -> Some (i, g, "<end of expected file>")
+    | [], w :: _ -> Some (i, "<end of replay output>", w)
+    | g :: gs, w :: ws -> if g = w then go (i + 1) gs ws else Some (i, g, w)
+  in
+  go 1 got want
+
+let run_replay config jobs requests expect =
+  let lines = read_lines requests in
+  let daemon = Serve.Daemon.create ~config () in
+  let responses =
+    with_parallel jobs (fun () -> Serve.Daemon.run_lines daemon lines)
+  in
+  let out = List.map Obs.Json.to_string responses in
+  match expect with
+  | None ->
+      List.iter print_endline out;
+      0
+  | Some path -> (
+      let want = read_lines path in
+      match first_divergence out want with
+      | None ->
+          Printf.printf "replay: ok, %d responses byte-identical to %s\n"
+            (List.length out) path;
+          0
+      | Some (line, got, expected) ->
+          Printf.eprintf
+            "replay: DIVERGED at response %d\n  got:      %s\n  expected: %s\n"
+            line got expected;
+          1)
+
+let run_chaos config seed n out =
+  let chaos_config =
+    (* Keep the campaign's small caps and raising strategy, but let the
+       explicit flags (benches, limits) override. *)
+    {
+      (Serve.Chaos.default_config ()) with
+      benches =
+        (match config.Serve.Daemon.benches with
+        | Some _ as b -> b
+        | None -> (Serve.Chaos.default_config ()).benches);
+      scale = config.Serve.Daemon.scale;
+    }
+  in
+  let report = Serve.Chaos.run ~seed ~n ~config:chaos_config () in
+  print_endline (Serve.Chaos.summary report);
+  Option.iter
+    (fun path -> Obs.Json.to_file path (Serve.Chaos.report_json report))
+    out;
+  if report.Serve.Chaos.violations = [] && report.responses = report.requests
+  then 0
+  else begin
+    List.iter
+      (fun v -> Printf.eprintf "chaos violation: %s\n" v)
+      report.violations;
+    1
+  end
+
+let run_serve config jobs socket =
+  let daemon = Serve.Daemon.create ~config () in
+  with_parallel jobs (fun () ->
+      match socket with
+      | Some path -> Serve.Daemon.serve_socket daemon ~path
+      | None -> Serve.Daemon.serve_channels daemon stdin stdout);
+  0
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  let doc = "Listen on a Unix socket at $(docv) instead of stdio." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let sample_arg =
+  let doc = "Print the deterministic sample request stream and exit." in
+  Arg.(value & flag & info [ "sample" ] ~doc)
+
+let replay_arg =
+  let doc = "Replay a request file through the serve loop." in
+  Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+
+let expect_arg =
+  let doc =
+    "With $(b,--replay): compare output byte-for-byte against $(docv) and \
+     fail on the first divergence."
+  in
+  Arg.(value & opt (some string) None & info [ "expect" ] ~docv:"FILE" ~doc)
+
+let chaos_arg =
+  let doc = "Run the seeded fault-injection campaign and exit." in
+  Arg.(value & flag & info [ "chaos" ] ~doc)
+
+let chaos_n_arg =
+  let doc = "Number of chaos requests." in
+  Arg.(value & opt int 200 & info [ "chaos-n" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Chaos campaign seed." in
+  Arg.(value & opt int 0xC4A05 & info [ "seed" ] ~docv:"S" ~doc)
+
+let chaos_out_arg =
+  let doc = "Write the chaos report as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "chaos-out" ] ~docv:"FILE" ~doc)
+
+let run config jobs quiet metrics_out socket sample replay expect chaos chaos_n
+    seed chaos_out =
+  with_telemetry ~quiet ~metrics_out @@ fun () ->
+  if sample then begin
+    List.iter print_endline (sample_lines config);
+    0
+  end
+  else if chaos then run_chaos config seed chaos_n chaos_out
+  else
+    match replay with
+    | Some requests -> run_replay config jobs requests expect
+    | None -> run_serve config jobs socket
+
+let cmd =
+  let doc = "Fault-tolerant layout service (impact.serve/v1 over stdio)" in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ config_term $ jobs_term $ quiet_arg $ metrics_arg
+      $ socket_arg $ sample_arg $ replay_arg $ expect_arg $ chaos_arg
+      $ chaos_n_arg $ seed_arg $ chaos_out_arg)
+
+let () =
+  try exit (Cmd.eval' ~catch:false cmd) with
+  | Ir.Diag.Fail d ->
+      Obs.Log.error_raw (Ir.Diag.to_string d);
+      exit (Ir.Diag.exit_code d)
+  | Workloads.Registry.Unknown_benchmark name ->
+      Obs.Log.error "unknown benchmark: %s" name;
+      exit 2
+  | Placement.Strategy.Unknown_strategy id ->
+      Obs.Log.error "unknown strategy: %s" id;
+      exit 2
+  | Failure msg ->
+      Obs.Log.error "%s" msg;
+      exit 2

@@ -4,9 +4,16 @@
     results — computed lazily and at most once, since every table draws
     on the same artifacts. *)
 
+type cached = { result : Sim.Driver.result; mutable last_used : int }
+(** A memoized simulation result with its LRU stamp. *)
+
 type entry = {
   bench : Workloads.Bench.t;
   lock : Mutex.t;  (** guards every mutable/lazy field of the entry *)
+  memo_cap : int option;
+      (** LRU bound on memoized simulation results; [None] = unbounded *)
+  strategy_cap : int option;  (** LRU bound on memoized strategy maps *)
+  mutable memo_tick : int;
   pipeline : Placement.Pipeline.t Lazy.t;
   pipeline_noinline : Placement.Pipeline.t Lazy.t;
   trace : Sim.Trace.t Lazy.t;
@@ -17,18 +24,31 @@ type entry = {
   mutable scaled_maps : (float * Placement.Address_map.t) list;
   mutable map_ids : (Placement.Address_map.t * int) list;
   mutable trace_ids : (Sim.Trace.t * int) list;
-  sim_cache : (int * int * Icache.Config.t, Sim.Driver.result) Hashtbl.t;
+  sim_cache : (int * int * Icache.Config.t, cached) Hashtbl.t;
 }
 
 type t = entry list
 
 val create :
-  ?engine:Sim.Trace.engine -> ?scale:int -> ?names:string list -> unit -> t
+  ?engine:Sim.Trace.engine ->
+  ?scale:int ->
+  ?memo_cap:int ->
+  ?strategy_cap:int ->
+  ?names:string list ->
+  unit ->
+  t
 (** Default: the full ten-benchmark suite at scale 1, recording traces
     with the [Streaming] engine (born-compressed store; [Buffered] is
     the raw reference representation — results are bit-identical either
     way).  [scale] > 1 substitutes the scaled-up workload variants of
-    {!Workloads.Registry.suite}. *)
+    {!Workloads.Registry.suite}.
+
+    [memo_cap] / [strategy_cap] (default unbounded, right for one-shot
+    CLI runs) bound the per-entry simulation memo and strategy-map
+    tables with LRU eviction — what a long-running service sets so its
+    resident contexts cannot grow without bound.  Evictions are counted
+    in {!memo_evictions}.  Both must be [>= 1] ([Invalid_argument]
+    otherwise). *)
 
 val entries : t -> entry list
 
@@ -110,3 +130,7 @@ val memo_misses : Obs.Metrics.counter
 
 val strategy_fallbacks : Obs.Metrics.counter
 (** Strategies that raised and degraded to the natural layout. *)
+
+val memo_evictions : Obs.Metrics.counter
+(** Memoized simulation results and strategy maps dropped by the LRU
+    caps. *)

@@ -89,8 +89,22 @@ exception Parse_error of string
 
 let fail pos msg = raise (Parse_error (Printf.sprintf "at %d: %s" pos msg))
 
-let parse_exn (s : string) : t =
+(* Adversarial-input guards.  The parser recurses once per nesting
+   level, so untrusted input could otherwise drive an unbounded stack
+   (a "depth bomb" of [[[[...) or an unbounded amount of work (an
+   oversized payload); both now fail as ordinary parse errors before
+   any damage.  The defaults are far above anything the telemetry
+   artifacts produce. *)
+let default_max_depth = 512
+
+let parse_exn ?(max_depth = default_max_depth) ?max_bytes (s : string) : t =
   let n = String.length s in
+  (match max_bytes with
+  | Some limit when n > limit ->
+    raise
+      (Parse_error
+         (Printf.sprintf "input too large: %d bytes (limit %d)" n limit))
+  | _ -> ());
   let pos = ref 0 in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let advance () = incr pos in
@@ -175,8 +189,10 @@ let parse_exn (s : string) : t =
       | Some f -> Float f
       | None -> fail start (Printf.sprintf "bad number %S" tok))
   in
-  let rec parse_value () =
+  let rec parse_value depth =
     skip_ws ();
+    if depth > max_depth then
+      fail !pos (Printf.sprintf "nesting deeper than %d" max_depth);
     match peek () with
     | None -> fail !pos "unexpected end of input"
     | Some '"' -> String (parse_string ())
@@ -192,11 +208,11 @@ let parse_exn (s : string) : t =
         List []
       end
       else begin
-        let items = ref [ parse_value () ] in
+        let items = ref [ parse_value (depth + 1) ] in
         skip_ws ();
         while peek () = Some ',' do
           advance ();
-          items := parse_value () :: !items;
+          items := parse_value (depth + 1) :: !items;
           skip_ws ()
         done;
         expect ']';
@@ -215,7 +231,7 @@ let parse_exn (s : string) : t =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           (k, v)
         in
         let fields = ref [ field () ] in
@@ -230,13 +246,13 @@ let parse_exn (s : string) : t =
       end
     | Some c -> fail !pos (Printf.sprintf "unexpected %C" c)
   in
-  let v = parse_value () in
+  let v = parse_value 0 in
   skip_ws ();
   if !pos <> n then fail !pos "trailing garbage";
   v
 
-let parse s =
-  try Ok (parse_exn s) with Parse_error msg -> Error msg
+let parse ?max_depth ?max_bytes s =
+  try Ok (parse_exn ?max_depth ?max_bytes s) with Parse_error msg -> Error msg
 
 let of_file path =
   let ic = open_in_bin path in

@@ -20,10 +20,18 @@ val to_file : string -> t -> unit
 
 exception Parse_error of string
 
-val parse_exn : string -> t
-(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+val default_max_depth : int
+(** Default nesting-depth limit of the parser (512). *)
 
-val parse : string -> (t, string) result
+val parse_exn : ?max_depth:int -> ?max_bytes:int -> string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage.
+
+    Hardened against adversarial input: nesting deeper than [max_depth]
+    (default {!default_max_depth}) fails instead of risking a stack
+    overflow, and — when [max_bytes] is given — input longer than that
+    fails before any parsing work. *)
+
+val parse : ?max_depth:int -> ?max_bytes:int -> string -> (t, string) result
 val of_file : string -> (t, string) result
 
 val member : string -> t -> t option

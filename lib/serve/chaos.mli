@@ -1,0 +1,39 @@
+(** Fault-injection harness for the layout service.
+
+    A campaign fires a seeded stream of requests — valid layouts and
+    lints, raising strategies, zero and near-zero deadlines, malformed
+    and truncated JSON, nesting bombs, oversized payloads, unknown
+    schema versions, uploads with out-of-range ids and non-conserving
+    counts — through the full batched serve loop and checks the
+    robustness contract: the daemon never crashes, answers every
+    request with exactly one well-formed response, and lands in the
+    forced degradation tier where one is expected. *)
+
+val chaos_strategy : Placement.Strategy.t
+(** Registry entry ["chaos-raise"]: raises from both layout hooks, for
+    exercising the natural-fallback tier.  Injected via
+    {!Daemon.config.extra_strategies}. *)
+
+val default_config : unit -> Daemon.config
+(** Two benchmarks, small caps and a 64 KiB request limit, with
+    {!chaos_strategy} installed — every bound the campaign tests is
+    actually crossable. *)
+
+type report = {
+  seed : int;
+  requests : int;
+  responses : int;
+  ok : int;
+  errors : int;
+  timeouts : int;
+  by_category : (string * int) list;
+  violations : string list;  (** contract breaches; [[]] = clean campaign *)
+}
+
+val run : ?seed:int -> ?n:int -> ?config:Daemon.config -> unit -> report
+(** Run a campaign of [n] (default 200) seeded requests plus one
+    flow-conserving profile upload.  Deterministic for a given seed and
+    config. *)
+
+val report_json : report -> Obs.Json.t
+val summary : report -> string

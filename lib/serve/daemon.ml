@@ -1,0 +1,619 @@
+(* The layout-service daemon.
+
+   One JSON request per line in, one JSON response per line out, in
+   input order.  Robustness is the design axis: every failure a request
+   can provoke — malformed JSON, unknown schema, a strategy that raises,
+   an invalid cache geometry, an oversized payload — becomes a
+   structured error response on that request alone; the daemon never
+   dies and never skips a response.
+
+   Parallelism and determinism: requests are read into bounded batches
+   dispatched across the default {!Placement.Pool}.  A batch holds only
+   read-only work (layout/lint/parse errors); profile-upload, stats and
+   shutdown are barriers handled serially between batches.  Responses
+   are emitted strictly in input order, accounting happens at emit time
+   on one domain, no response contains a wall-clock value, and the batch
+   width is a constant (not lane-dependent) — so `-j 1` and `-j N` runs
+   are byte-identical, which the golden-vector replay checker enforces
+   with a cmp-level comparison.
+
+   Graceful degradation tiers, reported per response as ["tier"]:
+   - ["none"]: served exactly as asked.
+   - ["natural-fallback"]: the strategy raised; natural layout served.
+   - ["cheapest-strategy"]: the deadline admits only the cheapest
+     layout; natural layout served.
+   - ["last-good-epoch"]: the named profile is poisoned (or has no
+     usable snapshot yet); the last flow-conserving snapshot — or the
+     builtin pipeline profile, as epoch 0 — served instead. *)
+
+let requests_total =
+  Obs.Metrics.counter "serve.requests" ~help:"Requests answered"
+
+let errors_total =
+  Obs.Metrics.counter "serve.errors" ~help:"Requests answered with an error"
+
+let timeouts_total =
+  Obs.Metrics.counter "serve.timeouts"
+    ~help:"Requests answered with a timeout"
+
+let degraded_total =
+  Obs.Metrics.counter "serve.degraded"
+    ~help:"Requests served in a degraded tier"
+
+let map_evictions =
+  Obs.Metrics.counter "serve.map_evictions"
+    ~help:"Custom-profile address maps dropped by the LRU cap"
+
+type config = {
+  deadline_ms : int;
+  cheap_threshold_ms : int;
+  retry_base_ms : int;
+  max_request_bytes : int;
+  max_batch : int;
+  profile_cap : int option;
+  epoch_window : int;
+  memo_cap : int option;
+  strategy_cap : int option;
+  map_cap : int;
+  scale : int;
+  benches : string list option;
+  extra_strategies : Placement.Strategy.t list;
+}
+
+let default_config =
+  {
+    deadline_ms = 30_000;
+    cheap_threshold_ms = 5;
+    retry_base_ms = 25;
+    max_request_bytes = 1 lsl 20;
+    max_batch = 8;
+    profile_cap = Some 64;
+    epoch_window = 4;
+    memo_cap = Some 256;
+    strategy_cap = Some 16;
+    map_cap = 32;
+    scale = 1;
+    benches = None;
+    extra_strategies = [];
+  }
+
+type t = {
+  config : config;
+  context : Experiments.Context.t;
+  store : Store.t;
+  lock : Mutex.t;  (* guards map_cache and the emit-time counters *)
+  mutable map_cache :
+    ((string * int * string * string) * Placement.Address_map.t) list;
+      (* (profile, revision, source kind, strategy id) -> map; MRU first *)
+  mutable served : int;
+  mutable by_type : (string * int) list;
+  mutable by_status : (string * int) list;
+  mutable stopped : bool;
+}
+
+let create ?(config = default_config) () =
+  if config.map_cap < 1 then invalid_arg "Daemon.create: map_cap must be >= 1";
+  if config.max_batch < 1 then
+    invalid_arg "Daemon.create: max_batch must be >= 1";
+  let context =
+    Experiments.Context.create ~scale:config.scale ?memo_cap:config.memo_cap
+      ?strategy_cap:config.strategy_cap ?names:config.benches ()
+  in
+  let store = Store.create ?cap:config.profile_cap ~window:config.epoch_window () in
+  {
+    config;
+    context;
+    store;
+    lock = Mutex.create ();
+    map_cache = [];
+    served = 0;
+    by_type = [];
+    by_status = [];
+    stopped = false;
+  }
+
+let context t = t.context
+let store t = t.store
+
+let find_strategy t id =
+  match
+    List.find_opt
+      (fun s -> s.Placement.Strategy.id = id)
+      t.config.extra_strategies
+  with
+  | Some s -> s
+  | None -> Placement.Strategy.find id
+
+(* ------------------------------------------------------------------ *)
+(* Custom-profile address maps                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Maps derived from uploaded profiles are cached MRU-first under a
+   key that pins the store revision, so the same snapshot always yields
+   the same physical map — which is what keeps the context's simulation
+   memo (keyed on physical map identity) hot across requests. *)
+let cached_map t ~key build =
+  Mutex.protect t.lock @@ fun () ->
+  match List.assoc_opt key t.map_cache with
+  | Some m ->
+      t.map_cache <- (key, m) :: List.remove_assoc key t.map_cache;
+      m
+  | None ->
+      let m = build () in
+      let cache = (key, m) :: t.map_cache in
+      if List.length cache > t.config.map_cap then begin
+        t.map_cache <- List.filteri (fun i _ -> i < t.config.map_cap) cache;
+        Obs.Metrics.incr map_evictions
+      end
+      else t.map_cache <- cache;
+      m
+
+(* Mirror of [Placement.Pipeline.map_for], over an uploaded profile
+   instead of the pipeline's own. *)
+let custom_map t entry (strat : Placement.Strategy.t) ~pname ~revision ~kind
+    prof =
+  let pipe = Experiments.Context.pipeline entry in
+  let prog = pipe.Placement.Pipeline.program in
+  let key = (pname, revision, kind, strat.id) in
+  cached_map t ~key (fun () ->
+      let nfuncs = Array.length prog.Ir.Prog.funcs in
+      let layouts =
+        Array.init nfuncs (fun fid ->
+            strat.layout prog.funcs.(fid)
+              (Placement.Weight.cfg_of_profile prof fid))
+      in
+      let order =
+        strat.global nfuncs ~entry:prog.entry
+          (Placement.Weight.call_of_profile prof)
+      in
+      Placement.Address_map.build prog ~layouts ~order)
+
+(* ------------------------------------------------------------------ *)
+(* layout-request                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let retry_after t deadline =
+  min 10_000 (max t.config.retry_base_ms (2 * deadline))
+
+let elapsed_ms t0 = int_of_float ((Obs.Clock.now () -. t0) *. 1000.0)
+
+let layout_json (prog : Ir.Prog.program) (map : Placement.Address_map.t) =
+  let min_addr fid = Array.fold_left min max_int map.block_addr.(fid) in
+  let order =
+    List.sort
+      (fun a b -> compare (min_addr a, a) (min_addr b, b))
+      (List.init (Array.length prog.funcs) Fun.id)
+  in
+  let blocks =
+    List.map
+      (fun fid ->
+        let addrs = map.block_addr.(fid) in
+        let labels =
+          List.sort
+            (fun a b -> compare (addrs.(a), a) (addrs.(b), b))
+            (List.init (Array.length addrs) Fun.id)
+        in
+        ( prog.funcs.(fid).Ir.Prog.name,
+          Obs.Json.List (List.map (fun l -> Obs.Json.Int l) labels) ))
+      order
+  in
+  Obs.Json.Obj
+    [
+      ( "functions",
+        Obs.Json.List
+          (List.map (fun fid -> Obs.Json.String prog.funcs.(fid).name) order)
+      );
+      ("blocks", Obs.Json.Obj blocks);
+      ("total_bytes", Obs.Json.Int map.total_bytes);
+      ("effective_bytes", Obs.Json.Int map.effective_bytes);
+    ]
+
+let predicted_json (r : Sim.Driver.result) =
+  Obs.Json.Obj
+    [
+      ("cache", Obs.Json.String (Icache.Config.describe r.config));
+      ("accesses", Obs.Json.Int r.accesses);
+      ("misses", Obs.Json.Int r.misses);
+      ("words_fetched", Obs.Json.Int r.words_fetched);
+      ("miss_ratio", Obs.Json.Float r.miss_ratio);
+      ("traffic_ratio", Obs.Json.Float r.traffic_ratio);
+      ("avg_fetch_words", Obs.Json.Float r.avg_fetch_words);
+      ("avg_exec_insns", Obs.Json.Float r.avg_exec_insns);
+      ("eat_blocking", Obs.Json.Float r.eat_blocking);
+      ("eat_streaming", Obs.Json.Float r.eat_streaming);
+      ("eat_streaming_partial", Obs.Json.Float r.eat_streaming_partial);
+    ]
+
+let handle_layout t ~id ~bench ~strategy ~cache_config ~profile ~deadline_ms =
+  let request = "layout-request" in
+  let deadline = Option.value ~default:t.config.deadline_ms deadline_ms in
+  if deadline = 0 then
+    (* A zero deadline can never be met: deterministic typed timeout. *)
+    Protocol.timeout_response ~id ~request
+      ~retry_after_ms:(retry_after t deadline)
+  else begin
+    let t0 = Obs.Clock.now () in
+    let entry = Experiments.Context.find t.context bench in
+    let strat = find_strategy t strategy in
+    let cheap = deadline <= t.config.cheap_threshold_ms in
+    (* Resolve the profile source first: a bad profile reference must
+       error identically whatever the deadline says. *)
+    let source, source_name, source_epoch, source_prof =
+      match profile with
+      | None -> ("builtin", None, 0, None)
+      | Some pname -> (
+          (match Store.bench_of t.store pname with
+          | Some b when b <> bench ->
+              failwith
+                (Printf.sprintf "profile %S is bound to benchmark %S, not %S"
+                   pname b bench)
+          | _ -> ());
+          match Store.view t.store pname with
+          | Store.Unknown ->
+              failwith (Printf.sprintf "unknown profile %S" pname)
+          | Store.Fresh { profile; revision; epoch } ->
+              ("fresh", Some (pname, revision), epoch, Some profile)
+          | Store.Last_good { profile; revision; epoch } ->
+              ("last-good", Some (pname, revision), epoch, Some profile)
+          | Store.Empty ->
+              (* Poisoned (or never-good) with no snapshot: the builtin
+                 pipeline profile is the last-good epoch, numbered 0. *)
+              ("builtin", None, 0, None))
+    in
+    let effective, map, fell_back =
+      if cheap then
+        (* Admission control: the deadline only admits the cheapest
+           layout.  Deterministic — no clock involved. *)
+        (Placement.Strategy.natural, Experiments.Context.natural_map entry,
+         false)
+      else
+        match source_prof, source_name with
+        | Some prof, Some (pname, revision) -> (
+            try (strat, custom_map t entry strat ~pname ~revision ~kind:source prof, false)
+            with _ ->
+              (Placement.Strategy.natural,
+               Experiments.Context.natural_map entry, true))
+        | _ ->
+            let map = Experiments.Context.strategy_map entry strat in
+            let fb = Experiments.Context.fell_back entry strat.id in
+            ((if fb then Placement.Strategy.natural else strat), map, fb)
+    in
+    (* Checkpoint: layout built but the deadline already passed — finish
+       with the cheapest result rather than burning more of it. *)
+    let over_before_sim = (not cheap) && elapsed_ms t0 > deadline in
+    let effective, map =
+      if over_before_sim then
+        (Placement.Strategy.natural, Experiments.Context.natural_map entry)
+      else (effective, map)
+    in
+    let result =
+      Experiments.Context.simulate entry cache_config map
+        (Experiments.Context.trace entry)
+    in
+    (* The cheap-admission tier is a deterministic promise — degrade
+       and serve — so the wall-clock timeout only applies outside it. *)
+    if (not cheap) && elapsed_ms t0 > deadline then
+      Protocol.timeout_response ~id ~request
+        ~retry_after_ms:(retry_after t deadline)
+    else begin
+      let tier =
+        if cheap || over_before_sim then "cheapest-strategy"
+        else if source = "last-good" || (profile <> None && source = "builtin")
+        then "last-good-epoch"
+        else if fell_back then "natural-fallback"
+        else "none"
+      in
+      if tier <> "none" then Obs.Metrics.incr degraded_total;
+      let prog =
+        (Experiments.Context.pipeline entry).Placement.Pipeline.program
+      in
+      Protocol.ok_response ~id ~request
+        [
+          ("bench", Obs.Json.String bench);
+          ("strategy", Obs.Json.String effective.Placement.Strategy.id);
+          ("requested_strategy", Obs.Json.String strat.id);
+          ("tier", Obs.Json.String tier);
+          ( "profile",
+            Obs.Json.Obj
+              [
+                ("source", Obs.Json.String source);
+                ( "name",
+                  match source_name with
+                  | Some (pname, _) -> Obs.Json.String pname
+                  | None -> Obs.Json.Null );
+                ("epoch", Obs.Json.Int source_epoch);
+              ] );
+          ("layout", layout_json prog map);
+          ("predicted", predicted_json result);
+        ]
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The other request kinds                                             *)
+(* ------------------------------------------------------------------ *)
+
+let handle_upload t ~id (u : Protocol.upload) =
+  let request = "profile-upload" in
+  let entry = Experiments.Context.find t.context u.bench in
+  let prog = (Experiments.Context.pipeline entry).Placement.Pipeline.program in
+  match Store.upload t.store ~prog u with
+  | Error e -> Protocol.error_response ~id ~request e
+  | Ok (o : Store.outcome) ->
+      Protocol.ok_response ~id ~request
+        ([
+           ("accepted", Obs.Json.Bool o.accepted);
+         ]
+        @ (match o.reason with
+          | Some r -> [ ("reason", Obs.Json.String r) ]
+          | None -> [])
+        @ [
+            ("epoch", Obs.Json.Int o.epoch);
+            ("min_live_epoch", Obs.Json.Int o.min_live);
+            ("epochs_live", Obs.Json.Int o.epochs_live);
+            ("poisoned", Obs.Json.Bool o.poisoned);
+            ("flow_violations", Obs.Json.Int o.flow_violations);
+          ])
+
+let handle_lint t ~id ~bench ~strategy ~min_prob =
+  let entry = Experiments.Context.find t.context bench in
+  let strat = find_strategy t strategy in
+  let r = Experiments.Lint_exp.lint_entry ?min_prob entry strat in
+  Protocol.ok_response ~id ~request:"lint-request"
+    [
+      ("bench", Obs.Json.String bench);
+      ("fell_back", Obs.Json.Bool r.Experiments.Lint_exp.fell_back);
+      ("result", Experiments.Lint_exp.result_json r);
+    ]
+
+(* Stats is a barrier: it runs serially between batches and reads the
+   emit-time counters, so its numbers are exact for everything already
+   on the wire — identical under -j 1 and -j N. *)
+let handle_stats t ~id =
+  Mutex.protect t.lock @@ fun () ->
+  let assoc l =
+    Obs.Json.Obj
+      (List.sort compare l |> List.map (fun (k, v) -> (k, Obs.Json.Int v)))
+  in
+  Protocol.ok_response ~id ~request:"stats"
+    [
+      ("served", Obs.Json.Int t.served);
+      ("by_type", assoc t.by_type);
+      ("by_status", assoc t.by_status);
+      ("profiles", Store.stats_json t.store);
+      ( "limits",
+        Obs.Json.Obj
+          [
+            ( "profile_cap",
+              match t.config.profile_cap with
+              | Some c -> Obs.Json.Int c
+              | None -> Obs.Json.Null );
+            ( "memo_cap",
+              match t.config.memo_cap with
+              | Some c -> Obs.Json.Int c
+              | None -> Obs.Json.Null );
+            ( "strategy_cap",
+              match t.config.strategy_cap with
+              | Some c -> Obs.Json.Int c
+              | None -> Obs.Json.Null );
+            ("map_cap", Obs.Json.Int t.config.map_cap);
+            ("epoch_window", Obs.Json.Int t.config.epoch_window);
+            ("max_batch", Obs.Json.Int t.config.max_batch);
+            ("max_request_bytes", Obs.Json.Int t.config.max_request_bytes);
+            ("deadline_ms", Obs.Json.Int t.config.deadline_ms);
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Request isolation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Total: whatever a request provokes, the answer is a response. *)
+let respond t (p : Protocol.parsed) : Obs.Json.t =
+  let name = Protocol.request_name p.req in
+  try
+    Obs.Span.with_ ~stage:("serve." ^ name) @@ fun () ->
+    match p.req with
+    | Protocol.Layout_request { bench; strategy; config; profile; deadline_ms }
+      ->
+        handle_layout t ~id:p.id ~bench ~strategy ~cache_config:config
+          ~profile ~deadline_ms
+    | Protocol.Profile_upload u -> handle_upload t ~id:p.id u
+    | Protocol.Lint_request { bench; strategy; min_prob } ->
+        handle_lint t ~id:p.id ~bench ~strategy ~min_prob
+    | Protocol.Stats -> handle_stats t ~id:p.id
+    | Protocol.Shutdown ->
+        Protocol.ok_response ~id:p.id ~request:"shutdown"
+          [ ("stopping", Obs.Json.Bool true) ]
+  with exn ->
+    Protocol.error_response ~id:p.id ~request:name (Protocol.error_of_exn exn)
+
+let oversize_response n limit =
+  Protocol.error_response ~id:Obs.Json.Null ~request:"unknown"
+    (Protocol.usage_error
+       (Printf.sprintf "request too large: %d bytes (limit %d)" n limit))
+
+(* The serial total function: one line in, one response out.  What the
+   chaos harness and the unit tests drive directly. *)
+let handle_line t line : Obs.Json.t * bool =
+  let n = String.length line in
+  if n > t.config.max_request_bytes then
+    (oversize_response n t.config.max_request_bytes, false)
+  else
+    match Protocol.parse_request ~max_bytes:t.config.max_request_bytes line with
+    | Error (id, e) ->
+        (Protocol.error_response ~id ~request:"unknown" e, false)
+    | Ok p ->
+        let stop = match p.req with Protocol.Shutdown -> true | _ -> false in
+        (respond t p, stop)
+
+(* ------------------------------------------------------------------ *)
+(* The batched serve loop                                              *)
+(* ------------------------------------------------------------------ *)
+
+type job =
+  | Compute of Protocol.parsed  (** read-only: dispatched across the pool *)
+  | Immediate of Obs.Json.t  (** already answered (parse/size errors) *)
+
+type item = Job of job | Barrier of Protocol.parsed
+
+let classify t line : item option =
+  if String.trim line = "" then None
+  else
+    let n = String.length line in
+    if n > t.config.max_request_bytes then
+      Some (Job (Immediate (oversize_response n t.config.max_request_bytes)))
+    else
+      match
+        Protocol.parse_request ~max_bytes:t.config.max_request_bytes line
+      with
+      | Error (id, e) ->
+          Some (Job (Immediate (Protocol.error_response ~id ~request:"unknown" e)))
+      | Ok p -> (
+          match p.req with
+          | Protocol.Layout_request _ | Protocol.Lint_request _ ->
+              Some (Job (Compute p))
+          | Protocol.Profile_upload _ | Protocol.Stats | Protocol.Shutdown ->
+              Some (Barrier p))
+
+let account t resp =
+  Mutex.protect t.lock @@ fun () ->
+  let get j key =
+    match Obs.Json.member key j with
+    | Some (Obs.Json.String s) -> s
+    | _ -> "unknown"
+  in
+  let bump l k =
+    match List.assoc_opt k l with
+    | Some n -> (k, n + 1) :: List.remove_assoc k l
+    | None -> (k, 1) :: l
+  in
+  t.served <- t.served + 1;
+  t.by_type <- bump t.by_type (get resp "request");
+  let status = get resp "status" in
+  t.by_status <- bump t.by_status status;
+  Obs.Metrics.incr requests_total;
+  if status = "error" then Obs.Metrics.incr errors_total;
+  if status = "timeout" then Obs.Metrics.incr timeouts_total
+
+(* Generic loop over a line producer: collects read-only jobs into
+   constant-width batches, fans each batch across the default pool,
+   emits in input order, and handles barriers serially in between. *)
+let serve_generic t ~(next : unit -> string option) ~(emit : Obs.Json.t -> unit)
+    =
+  let emit_accounted resp =
+    account t resp;
+    emit resp
+  in
+  let flush jobs =
+    let jobs = List.rev jobs in
+    let run = function
+      | Compute p -> respond t p
+      | Immediate r -> r
+    in
+    let responses =
+      match Placement.Pool.default () with
+      | Some pool when Placement.Pool.lanes pool > 1 && List.length jobs > 1 ->
+          Placement.Pool.map pool run jobs
+      | _ -> List.map run jobs
+    in
+    List.iter emit_accounted responses
+  in
+  let rec loop pending npending =
+    if t.stopped then flush pending
+    else
+      match next () with
+      | None ->
+          flush pending  (* EOF: answer everything already read *)
+      | Some line -> (
+          match classify t line with
+          | None -> loop pending npending
+          | Some (Job j) ->
+              let pending = j :: pending and npending = npending + 1 in
+              if npending >= t.config.max_batch then begin
+                flush pending;
+                loop [] 0
+              end
+              else loop pending npending
+          | Some (Barrier p) ->
+              flush pending;
+              emit_accounted (respond t p);
+              (match p.req with
+              | Protocol.Shutdown -> t.stopped <- true
+              | _ -> ());
+              if t.stopped then () else loop [] 0)
+  in
+  loop [] 0
+
+(* Bounded line reader: never buffers more than the limit; an over-long
+   line is consumed to its newline and reported by total length so the
+   daemon can answer it with a structured error. *)
+let read_bounded ic limit : string option =
+  let buf = Buffer.create 256 in
+  let over = ref 0 in
+  let fin = ref false in
+  let eof = ref false in
+  while not !fin do
+    match In_channel.input_char ic with
+    | None ->
+        fin := true;
+        if Buffer.length buf = 0 && !over = 0 then eof := true
+    | Some '\n' -> fin := true
+    | Some _ when !over > 0 -> incr over
+    | Some c ->
+        if Buffer.length buf >= limit then over := Buffer.length buf + 1
+        else Buffer.add_char buf c
+  done;
+  if !eof then None
+  else if !over > 0 then
+    (* Synthesize a line that classifies as oversized without carrying
+       the payload. *)
+    Some (String.make (limit + 1) ' ')
+  else Some (Buffer.contents buf)
+
+let serve_channels t ic oc =
+  serve_generic t
+    ~next:(fun () -> read_bounded ic t.config.max_request_bytes)
+    ~emit:(fun resp ->
+      (* [to_channel] already terminates the line. *)
+      Obs.Json.to_channel oc resp;
+      flush oc)
+
+let run_lines t lines : Obs.Json.t list =
+  let remaining = ref lines in
+  let out = ref [] in
+  serve_generic t
+    ~next:(fun () ->
+      match !remaining with
+      | [] -> None
+      | l :: rest ->
+          remaining := rest;
+          Some l)
+    ~emit:(fun resp -> out := resp :: !out);
+  List.rev !out
+
+let stopped t = t.stopped
+
+(* ------------------------------------------------------------------ *)
+(* Unix-socket front end                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_socket t ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      while not t.stopped do
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        (* A client disconnecting mid-stream must not kill the daemon:
+           treat any channel failure as that connection ending. *)
+        (try serve_channels t ic oc with Sys_error _ | End_of_file -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      done)

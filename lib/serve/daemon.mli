@@ -1,0 +1,78 @@
+(** The fault-tolerant layout-service daemon.
+
+    Newline-delimited `impact.serve/v1` JSON requests in, one response
+    per request out, in input order.  Per-request isolation (any failure
+    becomes a structured error response carrying the CLI exit-code
+    taxonomy), per-request deadlines with typed timeout responses,
+    bounded request size, bounded profile/memo/map growth with LRU
+    eviction, and graceful degradation tiers.
+
+    Read-only requests are dispatched in constant-width batches across
+    the default {!Placement.Pool}; profile-upload, stats and shutdown
+    are serial barriers.  Responses carry no wall-clock values and are
+    emitted in input order, so `-j 1` and `-j N` runs of the same
+    request stream are byte-identical. *)
+
+type config = {
+  deadline_ms : int;  (** default per-request deadline *)
+  cheap_threshold_ms : int;
+      (** deadlines at or below this admit only the cheapest strategy *)
+  retry_base_ms : int;  (** floor of the [retry_after_ms] hint *)
+  max_request_bytes : int;
+  max_batch : int;  (** pool batch width — constant, not lane-dependent *)
+  profile_cap : int option;  (** LRU bound on named profiles *)
+  epoch_window : int;  (** live epochs per profile *)
+  memo_cap : int option;  (** per-bench simulation-memo LRU bound *)
+  strategy_cap : int option;  (** per-bench strategy-map LRU bound *)
+  map_cap : int;  (** custom-profile address-map LRU bound *)
+  scale : int;  (** workload scale of the resident contexts *)
+  benches : string list option;  (** [None] = the full suite *)
+  extra_strategies : Placement.Strategy.t list;
+      (** extra registry entries, resolved before the global registry —
+          how the chaos harness injects a raising strategy *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Build the resident state: one {!Experiments.Context} entry per
+    benchmark (pipelines and traces still lazy), an empty profile
+    store, an empty map cache. *)
+
+val context : t -> Experiments.Context.t
+val store : t -> Store.t
+
+val handle_line : t -> string -> Obs.Json.t * bool
+(** The serial total function: one request line in, one response out,
+    never raises.  The boolean is [true] when the line was a shutdown
+    request.  The chaos harness and unit tests drive this directly. *)
+
+val run_lines : t -> string list -> Obs.Json.t list
+(** Run a request stream through the full batched serve loop (the same
+    code path as {!serve_channels}) and return the responses in input
+    order.  Stops early at a shutdown request; lines past it get no
+    response. *)
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** Serve until EOF or a shutdown request; each response line is
+    flushed as emitted.  Lines are read through a bounded reader, so an
+    over-long request costs its length in I/O but not in memory. *)
+
+val serve_socket : t -> path:string -> unit
+(** Listen on a Unix socket, serving connections sequentially until a
+    shutdown request arrives.  A client disconnecting mid-stream ends
+    that connection only.  The socket file is removed on exit. *)
+
+val stopped : t -> bool
+
+(** {2 Telemetry} *)
+
+val requests_total : Obs.Metrics.counter
+val errors_total : Obs.Metrics.counter
+val timeouts_total : Obs.Metrics.counter
+val degraded_total : Obs.Metrics.counter
+
+val map_evictions : Obs.Metrics.counter
+(** Custom-profile address maps dropped by the LRU cap. *)

@@ -1,0 +1,354 @@
+(* Named profile store: weighted float accumulators per epoch, a
+   staleness window that expires old epochs as the current one advances,
+   and a materialize-then-validate step whose failure marks the profile
+   poisoned and pins readers to the last flow-conserving snapshot. *)
+
+let evictions =
+  Obs.Metrics.counter "serve.profile_evictions"
+    ~help:"Named profiles dropped from the store by the LRU cap"
+
+(* One epoch's accumulated (weighted) counts.  Floats so fractional
+   upload weights merge exactly; rounding happens once, at
+   materialization. *)
+type acc = {
+  blocks : (int * int, float) Hashtbl.t;
+  arcs : (int * int * int, float) Hashtbl.t;
+  entries : (int, float) Hashtbl.t;
+  calls : (int * int * int, float) Hashtbl.t;
+}
+
+let acc_create () =
+  {
+    blocks = Hashtbl.create 64;
+    arcs = Hashtbl.create 64;
+    entries = Hashtbl.create 16;
+    calls = Hashtbl.create 16;
+  }
+
+let acc_add tbl k v =
+  let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl k) in
+  Hashtbl.replace tbl k (prev +. v)
+
+type profile = {
+  name : string;
+  bench : string;
+  prog : Ir.Prog.program;  (** the bench's inlined program *)
+  window : int;
+  mutable current : int;
+  mutable epochs : (int * acc) list;  (** newest epoch first *)
+  mutable revision : int;
+  mutable uploads : int;
+  mutable poisoned : bool;
+  mutable fresh : Vm.Profile.t option;
+  mutable fresh_violations : int;
+  mutable last_good : (int * int * Vm.Profile.t) option;
+      (** epoch, revision, snapshot *)
+  mutable last_used : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  cap : int option;
+  window : int;
+  profiles : (string, profile) Hashtbl.t;
+  mutable tick : int;
+}
+
+let create ?cap ?(window = 4) () =
+  (match cap with
+  | Some c when c < 1 -> invalid_arg "Store.create: cap must be >= 1"
+  | _ -> ());
+  if window < 1 then invalid_arg "Store.create: window must be >= 1";
+  { lock = Mutex.create (); cap; window; profiles = Hashtbl.create 16; tick = 0 }
+
+let tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+(* ---- structural validation against the bench's program ---- *)
+
+exception Invalid of string
+
+let invalidf fmt = Printf.ksprintf (fun m -> raise (Invalid m)) fmt
+
+let validate_upload (prog : Ir.Prog.program) (u : Protocol.upload) :
+    string option =
+  let nfuncs = Array.length prog.funcs in
+  let func what fid =
+    if fid < 0 || fid >= nfuncs then
+      invalidf "%s: function id %d out of range (%d functions)" what fid nfuncs;
+    prog.funcs.(fid)
+  in
+  let label what (f : Ir.Prog.func) fid lbl =
+    if lbl < 0 || lbl >= Array.length f.blocks then
+      invalidf "%s: block %d out of range for function %d" what lbl fid
+  in
+  let count what c =
+    if not (Float.is_finite c) || c < 0.0 then
+      invalidf "%s: count %g is not a finite non-negative number" what c
+  in
+  try
+    List.iter
+      (fun (fid, lbl, c) ->
+        let f = func "blocks" fid in
+        label "blocks" f fid lbl;
+        count "blocks" c)
+      u.Protocol.blocks;
+    List.iter
+      (fun (fid, src, dst, c) ->
+        let f = func "arcs" fid in
+        label "arcs" f fid src;
+        label "arcs" f fid dst;
+        count "arcs" c;
+        if not (List.mem dst (Ir.Cfg.successors f.blocks.(src))) then
+          invalidf "arcs: %d -> %d is not a control-flow arc of function %d"
+            src dst fid)
+      u.arcs;
+    List.iter
+      (fun (fid, c) ->
+        ignore (func "entries" fid);
+        count "entries" c)
+      u.entries;
+    List.iter
+      (fun (fid, blk, callee, c) ->
+        let f = func "calls" fid in
+        label "calls" f fid blk;
+        ignore (func "calls" callee);
+        count "calls" c;
+        let ok =
+          match Ir.Cfg.callee f.blocks.(blk) with
+          | Some name -> (
+              match Hashtbl.find_opt prog.by_name name with
+              | Some i -> i = callee
+              | None -> false)
+          | None -> false
+        in
+        if not ok then
+          invalidf "calls: block %d of function %d does not call function %d"
+            blk fid callee)
+      u.calls;
+    None
+  with Invalid m -> Some m
+
+(* ---- materialization ---- *)
+
+let materialize (prog : Ir.Prog.program) (epochs : (int * acc) list) :
+    Vm.Profile.t =
+  let p = Vm.Profile.create prog in
+  let round v = int_of_float (Float.round v) in
+  let sum get =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (_, a) -> Hashtbl.iter (fun k v -> acc_add tbl k v) (get a))
+      epochs;
+    tbl
+  in
+  Hashtbl.iter
+    (fun (fid, lbl) v -> p.Vm.Profile.funcs.(fid).block_counts.(lbl) <- round v)
+    (sum (fun a -> a.blocks));
+  Hashtbl.iter
+    (fun (fid, src, dst) v ->
+      let c = round v in
+      if c <> 0 then Hashtbl.replace p.funcs.(fid).arc_counts.(src) dst c)
+    (sum (fun a -> a.arcs));
+  Hashtbl.iter
+    (fun fid v -> p.entry_counts.(fid) <- round v)
+    (sum (fun a -> a.entries));
+  Hashtbl.iter
+    (fun (fid, blk, callee) v ->
+      let c = round v in
+      if c <> 0 then Hashtbl.replace p.site_counts (fid, blk, callee) c)
+    (sum (fun a -> a.calls));
+  p.runs <- 1;
+  p
+
+(* ---- upload ---- *)
+
+type outcome = {
+  accepted : bool;
+  reason : string option;  (** ["stale-epoch"] when [accepted] is false *)
+  epoch : int;
+  min_live : int;
+  epochs_live : int;
+  poisoned : bool;
+  flow_violations : int;
+}
+
+let min_live_epoch p = max 0 (p.current - p.window + 1)
+
+let evict_unlocked t =
+  match t.cap with
+  | Some cap when Hashtbl.length t.profiles >= cap ->
+      let stalest =
+        Hashtbl.fold
+          (fun name p acc ->
+            match acc with
+            | Some (_, best) when best <= p.last_used -> acc
+            | _ -> Some (name, p.last_used))
+          t.profiles None
+      in
+      (match stalest with
+      | Some (name, _) ->
+          Hashtbl.remove t.profiles name;
+          Obs.Metrics.incr evictions
+      | None -> ())
+  | _ -> ()
+
+let upload t ~(prog : Ir.Prog.program) (u : Protocol.upload) :
+    (outcome, Protocol.error_info) result =
+  Mutex.protect t.lock @@ fun () ->
+  let p =
+    match Hashtbl.find_opt t.profiles u.Protocol.profile with
+    | Some p -> Ok p
+    | None ->
+        evict_unlocked t;
+        let p =
+          {
+            name = u.profile;
+            bench = u.bench;
+            prog;
+            window = t.window;
+            current = 0;
+            epochs = [];
+            revision = 0;
+            uploads = 0;
+            poisoned = false;
+            fresh = None;
+            fresh_violations = 0;
+            last_good = None;
+            last_used = tick t;
+          }
+        in
+        Hashtbl.replace t.profiles u.profile p;
+        Ok p
+  in
+  match p with
+  | Error e -> Error e
+  | Ok p when p.bench <> u.bench ->
+      Error
+        (Protocol.usage_error
+           (Printf.sprintf "profile %S is bound to benchmark %S, not %S"
+              p.name p.bench u.bench))
+  | Ok p -> (
+      p.last_used <- tick t;
+      let epoch = Option.value ~default:p.current u.epoch in
+      if epoch < 0 then Error (Protocol.usage_error "epoch must be >= 0")
+      else if epoch < min_live_epoch p then
+        Ok
+          {
+            accepted = false;
+            reason = Some "stale-epoch";
+            epoch;
+            min_live = min_live_epoch p;
+            epochs_live = List.length p.epochs;
+            poisoned = p.poisoned;
+            flow_violations = p.fresh_violations;
+          }
+      else
+        match validate_upload p.prog u with
+        | Some msg -> Error (Protocol.usage_error msg)
+        | None ->
+            if epoch > p.current then begin
+              p.current <- epoch;
+              let live = min_live_epoch p in
+              p.epochs <- List.filter (fun (e, _) -> e >= live) p.epochs
+            end;
+            let acc =
+              match List.assoc_opt epoch p.epochs with
+              | Some a -> a
+              | None ->
+                  let a = acc_create () in
+                  p.epochs <-
+                    List.sort (fun (a, _) (b, _) -> compare b a)
+                      ((epoch, a) :: p.epochs);
+                  a
+            in
+            let w = u.weight in
+            List.iter
+              (fun (fid, lbl, c) -> acc_add acc.blocks (fid, lbl) (w *. c))
+              u.blocks;
+            List.iter
+              (fun (fid, src, dst, c) ->
+                acc_add acc.arcs (fid, src, dst) (w *. c))
+              u.arcs;
+            List.iter
+              (fun (fid, c) -> acc_add acc.entries fid (w *. c))
+              u.entries;
+            List.iter
+              (fun (fid, blk, callee, c) ->
+                acc_add acc.calls (fid, blk, callee) (w *. c))
+              u.calls;
+            p.uploads <- p.uploads + 1;
+            p.revision <- p.revision + 1;
+            let vmprof = materialize p.prog p.epochs in
+            let violations = Placement.Validate.flow vmprof in
+            (match violations with
+            | [] ->
+                p.fresh <- Some vmprof;
+                p.poisoned <- false;
+                p.fresh_violations <- 0;
+                p.last_good <- Some (epoch, p.revision, vmprof)
+            | _ :: _ ->
+                p.fresh <- None;
+                p.poisoned <- true;
+                p.fresh_violations <- List.length violations);
+            Ok
+              {
+                accepted = true;
+                reason = None;
+                epoch;
+                min_live = min_live_epoch p;
+                epochs_live = List.length p.epochs;
+                poisoned = p.poisoned;
+                flow_violations = p.fresh_violations;
+              })
+
+(* ---- read side ---- *)
+
+type view =
+  | Fresh of { profile : Vm.Profile.t; revision : int; epoch : int }
+  | Last_good of { profile : Vm.Profile.t; revision : int; epoch : int }
+  | Empty  (** exists, but no flow-conserving snapshot was ever built *)
+  | Unknown
+
+let view t name =
+  Mutex.protect t.lock @@ fun () ->
+  match Hashtbl.find_opt t.profiles name with
+  | None -> Unknown
+  | Some p -> (
+      p.last_used <- tick t;
+      match p.fresh with
+      | Some vmprof when not p.poisoned ->
+          Fresh { profile = vmprof; revision = p.revision; epoch = p.current }
+      | _ -> (
+          match p.last_good with
+          | Some (epoch, revision, vmprof) ->
+              Last_good { profile = vmprof; revision; epoch }
+          | None -> Empty))
+
+let bench_of t name =
+  Mutex.protect t.lock @@ fun () ->
+  Option.map (fun p -> p.bench) (Hashtbl.find_opt t.profiles name)
+
+let size t = Mutex.protect t.lock @@ fun () -> Hashtbl.length t.profiles
+
+let stats_json t =
+  Mutex.protect t.lock @@ fun () ->
+  let rows =
+    Hashtbl.fold (fun _ p acc -> p :: acc) t.profiles []
+    |> List.sort (fun a b -> compare a.name b.name)
+    |> List.map (fun p ->
+           Obs.Json.Obj
+             [
+               ("name", Obs.Json.String p.name);
+               ("bench", Obs.Json.String p.bench);
+               ("current_epoch", Obs.Json.Int p.current);
+               ("epochs_live", Obs.Json.Int (List.length p.epochs));
+               ("uploads", Obs.Json.Int p.uploads);
+               ("poisoned", Obs.Json.Bool p.poisoned);
+               ( "last_good_epoch",
+                 match p.last_good with
+                 | Some (e, _, _) -> Obs.Json.Int e
+                 | None -> Obs.Json.Null );
+             ])
+  in
+  Obs.Json.List rows

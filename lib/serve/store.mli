@@ -1,0 +1,61 @@
+(** Named profile store of the layout service.
+
+    Uploads merge weighted block/arc/entry/call counts into float
+    accumulators bucketed by epoch; a staleness window expires old
+    epochs as the current one advances, and uploads tagged with an
+    expired epoch are answered [accepted = false] (["stale-epoch"])
+    rather than erroring.  After every accepted upload the retained
+    epochs are summed, rounded once into a {!Vm.Profile.t} over the
+    bench's inlined program, and checked with
+    {!Placement.Validate.flow}: a violation marks the profile
+    {e poisoned} and pins readers to the last flow-conserving snapshot
+    (the "last-good epoch" degradation tier).  The store is bounded:
+    with a cap set, creating one profile past it evicts the
+    least-recently-used one (counted in {!evictions}). *)
+
+type t
+
+val create : ?cap:int -> ?window:int -> unit -> t
+(** [cap] bounds the number of named profiles (default unbounded);
+    [window] is the number of live epochs (default 4).  Both must be
+    [>= 1] ([Invalid_argument] otherwise). *)
+
+type outcome = {
+  accepted : bool;
+  reason : string option;  (** ["stale-epoch"] when [accepted] is false *)
+  epoch : int;  (** the epoch the upload targeted *)
+  min_live : int;  (** oldest epoch still inside the window *)
+  epochs_live : int;
+  poisoned : bool;
+  flow_violations : int;
+}
+
+val upload :
+  t ->
+  prog:Ir.Prog.program ->
+  Protocol.upload ->
+  (outcome, Protocol.error_info) result
+(** Validate structurally against [prog] (ids in range, counts finite
+    and non-negative, arcs along real control-flow edges, call rows at
+    real call sites), then merge.  [Error] carries a usage-stage
+    {!Protocol.error_info} and leaves the store unchanged. *)
+
+type view =
+  | Fresh of { profile : Vm.Profile.t; revision : int; epoch : int }
+  | Last_good of { profile : Vm.Profile.t; revision : int; epoch : int }
+  | Empty  (** exists, but no flow-conserving snapshot was ever built *)
+  | Unknown
+
+val view : t -> string -> view
+(** Read the usable snapshot of a named profile.  The returned
+    {!Vm.Profile.t} is physically stable until the next accepted upload,
+    so address maps keyed on it stay memo-hot. *)
+
+val bench_of : t -> string -> string option
+val size : t -> int
+
+val stats_json : t -> Obs.Json.t
+(** Per-profile summary rows, sorted by name. *)
+
+val evictions : Obs.Metrics.counter
+(** Named profiles dropped from the store by the LRU cap. *)

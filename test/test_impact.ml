@@ -25,4 +25,5 @@ let () =
       ("obs", Test_obs.suite);
       ("analysis", Test_analysis.suite);
       ("parallel", Test_parallel.suite);
+      ("serve", Test_serve.suite);
     ]

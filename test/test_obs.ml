@@ -49,6 +49,47 @@ let json_roundtrip () =
   | Ok _ -> Alcotest.fail "malformed JSON parsed"
   | Error _ -> ()
 
+(* Adversarial input must come back as a parse error — never a stack
+   overflow (depth bomb), never unbounded work (size bomb), never a
+   crash on truncation. *)
+let json_adversarial () =
+  let expect_error name input =
+    match Obs.Json.parse input with
+    | Ok _ -> Alcotest.fail (name ^ ": malformed input parsed")
+    | Error _ -> ()
+  in
+  (* Truncated documents, every shape. *)
+  List.iter
+    (fun s -> expect_error "truncated" s)
+    [ "{\"a\":"; "[1,2,"; "\"unterminated"; "{\"a\":\"b\\"; "tru"; "-" ];
+  (* Depth bomb: 100k nested arrays would overflow the parser's stack
+     without the depth limit. *)
+  let bomb = String.make 100_000 '[' in
+  expect_error "depth bomb" bomb;
+  let bomb_obj =
+    String.concat "" (List.init 5_000 (fun _ -> "{\"k\":")) ^ "1"
+  in
+  expect_error "object depth bomb" bomb_obj;
+  (* Nesting at the limit still parses; one past it does not. *)
+  let nested d = String.make d '[' ^ "1" ^ String.make d ']' in
+  (match Obs.Json.parse ~max_depth:16 (nested 16) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("depth at limit rejected: " ^ e));
+  (match Obs.Json.parse ~max_depth:16 (nested 17) with
+  | Ok _ -> Alcotest.fail "depth past limit parsed"
+  | Error _ -> ());
+  (* Size bomb: with a byte bound, an oversized payload is rejected
+     before any parsing work. *)
+  let big = "\"" ^ String.make 4096 'x' ^ "\"" in
+  (match Obs.Json.parse ~max_bytes:1024 big with
+  | Ok _ -> Alcotest.fail "oversized payload parsed"
+  | Error e ->
+    Alcotest.(check bool) "size error names the limit" true
+      (contains ~needle:"too large" e));
+  match Obs.Json.parse ~max_bytes:8192 big with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("payload under the bound rejected: " ^ e)
+
 (* ---------------- spans ---------------- *)
 
 let span_nesting () =
@@ -286,6 +327,7 @@ let on_off_differential () =
 let suite =
   [
     Alcotest.test_case "json roundtrip" `Quick json_roundtrip;
+    Alcotest.test_case "json adversarial input" `Quick json_adversarial;
     Alcotest.test_case "span nesting and ordering" `Quick span_nesting;
     Alcotest.test_case "span disabled / exception safety" `Quick
       span_disabled_and_exceptions;

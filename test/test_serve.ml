@@ -1,0 +1,517 @@
+(* Layout-service tests: protocol parsing and the error taxonomy,
+   per-request isolation, weighted profile-merge properties, the
+   degradation tiers (natural fallback, cheapest strategy, last-good
+   epoch), deadline/timeout semantics, the LRU bounds on the profile
+   store and context memo tables, golden-vector replay, and a seeded
+   chaos campaign through the full batched serve loop. *)
+
+let bench = "cmp"
+
+let small_config =
+  { Serve.Daemon.default_config with benches = Some [ bench ] }
+
+(* One resident daemon shared by the read-only tests; tests that mutate
+   profile or counter state build their own. *)
+let shared = lazy (Serve.Daemon.create ~config:small_config ())
+
+let line_of = Obs.Json.to_string
+
+let request ?(schema = Serve.Protocol.schema) ~id ~typ fields =
+  line_of
+    (Obs.Json.Obj
+       ([
+          ("schema", Obs.Json.String schema);
+          ("id", Obs.Json.Int id);
+          ("type", Obs.Json.String typ);
+        ]
+       @ fields))
+
+let layout_line ?(bench = bench) ~id fields =
+  request ~id ~typ:"layout-request" (("bench", Obs.Json.String bench) :: fields)
+
+let status_of resp =
+  match Obs.Json.member "status" resp with
+  | Some (Obs.Json.String s) -> s
+  | _ -> "<none>"
+
+let str_field key resp =
+  match Obs.Json.member key resp with
+  | Some (Obs.Json.String s) -> s
+  | _ -> "<none>"
+
+let error_code resp =
+  match Obs.Json.member "error" resp with
+  | Some err -> (
+      match Obs.Json.member "code" err with
+      | Some (Obs.Json.Int c) -> c
+      | _ -> -1)
+  | None -> -1
+
+let pipeline_profile () =
+  let d = Lazy.force shared in
+  let entry = Experiments.Context.find (Serve.Daemon.context d) bench in
+  (Experiments.Context.pipeline entry).Placement.Pipeline.profile
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let protocol_roundtrip () =
+  (match
+     Serve.Protocol.parse_request
+       (layout_line ~id:7
+          [
+            ("strategy", Obs.Json.String "ph");
+            ( "cache",
+              Obs.Json.Obj
+                [ ("size", Obs.Json.Int 1024); ("block", Obs.Json.Int 32) ] );
+            ("deadline_ms", Obs.Json.Int 50);
+          ])
+   with
+  | Ok { id = Obs.Json.Int 7; req = Serve.Protocol.Layout_request r } ->
+      Alcotest.(check string) "bench" bench r.bench;
+      Alcotest.(check string) "strategy" "ph" r.strategy;
+      Alcotest.(check int) "cache size" 1024 r.config.Icache.Config.size;
+      Alcotest.(check (option int)) "deadline" (Some 50) r.deadline_ms;
+      Alcotest.(check (option string)) "no profile" None r.profile
+  | Ok _ -> Alcotest.fail "wrong parse"
+  | Error (_, e) -> Alcotest.failf "parse failed: %s" e.message);
+  (* Defaults: strategy impact, the paper's 2K/64B cache. *)
+  (match Serve.Protocol.parse_request (layout_line ~id:1 []) with
+  | Ok { req = Serve.Protocol.Layout_request r; _ } ->
+      Alcotest.(check string) "default strategy" "impact" r.strategy;
+      Alcotest.(check int) "default size" 2048 r.config.Icache.Config.size
+  | _ -> Alcotest.fail "default parse failed");
+  let expect_usage what line =
+    match Serve.Protocol.parse_request line with
+    | Error (_, e) -> Alcotest.(check int) (what ^ " code") 2 e.code
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" what
+  in
+  expect_usage "unknown type" (request ~id:1 ~typ:"frobnicate" []);
+  expect_usage "unknown schema"
+    (request ~schema:"impact.serve/v99" ~id:1 ~typ:"stats" []);
+  expect_usage "missing schema" {|{"id":1,"type":"stats"}|};
+  expect_usage "composite id"
+    {|{"schema":"impact.serve/v1","id":[1,2],"type":"stats"}|};
+  expect_usage "negative deadline"
+    (layout_line ~id:1 [ ("deadline_ms", Obs.Json.Int (-1)) ]);
+  expect_usage "bad cache geometry"
+    (layout_line ~id:1
+       [
+         ( "cache",
+           Obs.Json.Obj [ ("size", Obs.Json.Int 7); ("block", Obs.Json.Int 3) ]
+         );
+       ]);
+  expect_usage "truncated" {|{"schema":"impact.serve/v1","ty|}
+
+let error_taxonomy () =
+  let open Serve.Protocol in
+  Alcotest.(check int) "unknown bench is usage" 2
+    (error_of_exn (Workloads.Registry.Unknown_benchmark "x")).code;
+  Alcotest.(check int) "unknown strategy is usage" 2
+    (error_of_exn (Placement.Strategy.Unknown_strategy "x")).code;
+  Alcotest.(check string) "unexpected exn is internal" "internal"
+    (error_of_exn Not_found).stage;
+  Alcotest.(check int) "internal code" 1 (error_of_exn Not_found).code;
+  let d = Ir.Diag.make ~stage:Ir.Diag.Strategy "boom" in
+  Alcotest.(check int) "diag keeps its taxonomy code"
+    (Ir.Diag.exit_code d) (error_of_diag d).code
+
+(* ------------------------------------------------------------------ *)
+(* Isolation: every abuse is one error response, never a crash         *)
+(* ------------------------------------------------------------------ *)
+
+let request_isolation () =
+  let d = Lazy.force shared in
+  let abuses =
+    [
+      "not json at all";
+      String.concat "" (List.init 2000 (fun _ -> "["));
+      {|{"schema":"impact.serve/v1","id":1,"type":"layout-request","bench":"no-such"}|};
+      layout_line ~id:2
+        [
+          ( "cache",
+            Obs.Json.Obj
+              [ ("size", Obs.Json.Int 0); ("block", Obs.Json.Int 64) ] );
+        ];
+      request ~id:3 ~typ:"profile-upload"
+        [
+          ("profile", Obs.Json.String "p");
+          ("bench", Obs.Json.String bench);
+          ( "blocks",
+            Obs.Json.List
+              [
+                Obs.Json.List
+                  [ Obs.Json.Int 999; Obs.Json.Int 0; Obs.Json.Int 1 ];
+              ] );
+        ];
+    ]
+  in
+  List.iter
+    (fun abuse ->
+      let resp, stop = Serve.Daemon.handle_line d abuse in
+      Alcotest.(check bool) "abuse does not stop the daemon" false stop;
+      Alcotest.(check string) "abuse answered with error" "error"
+        (status_of resp);
+      (* The daemon still serves ordinary traffic afterwards. *)
+      let ok, _ = Serve.Daemon.handle_line d (request ~id:9 ~typ:"stats" []) in
+      Alcotest.(check string) "still serving" "ok" (status_of ok))
+    abuses
+
+let oversize_bounded () =
+  let config = { small_config with max_request_bytes = 4096 } in
+  let d = Serve.Daemon.create ~config () in
+  let resp, stop = Serve.Daemon.handle_line d (String.make 5000 'x') in
+  Alcotest.(check bool) "not fatal" false stop;
+  Alcotest.(check string) "oversize is an error" "error" (status_of resp);
+  Alcotest.(check int) "usage code" 2 (error_code resp)
+
+(* ------------------------------------------------------------------ *)
+(* Profile merging                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let upload_of ~name ?epoch ?weight prof =
+  match
+    Serve.Protocol.parse_request
+      (line_of
+         (Serve.Protocol.upload_request_of_profile ~name ~bench ?epoch ?weight
+            prof))
+  with
+  | Ok { req = Serve.Protocol.Profile_upload u; _ } -> u
+  | _ -> Alcotest.fail "upload round-trip failed"
+
+let prog_of_shared () =
+  let d = Lazy.force shared in
+  let entry = Experiments.Context.find (Serve.Daemon.context d) bench in
+  (Experiments.Context.pipeline entry).Placement.Pipeline.program
+
+(* Canonical serialization of the materialized profile: equality on all
+   four count tables at once. *)
+let snapshot store name =
+  match Serve.Store.view store name with
+  | Serve.Store.Fresh { profile; _ } | Serve.Store.Last_good { profile; _ } ->
+      line_of
+        (Serve.Protocol.upload_request_of_profile ~name:"snap" ~bench profile)
+  | Serve.Store.Empty -> "<empty>"
+  | Serve.Store.Unknown -> "<unknown>"
+
+let must_upload store ~prog u =
+  match Serve.Store.upload store ~prog u with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "upload rejected: %s" e.message
+
+let merge_self_doubles () =
+  let prof = pipeline_profile () in
+  let prog = prog_of_shared () in
+  let store = Serve.Store.create () in
+  let u1 = upload_of ~name:"twice" prof in
+  ignore (must_upload store ~prog u1);
+  ignore (must_upload store ~prog u1);
+  let u2 = upload_of ~name:"double" ~weight:2.0 prof in
+  ignore (must_upload store ~prog u2);
+  Alcotest.(check string) "merging a profile with itself doubles weights"
+    (snapshot store "double") (snapshot store "twice");
+  (* Doubling an integer-conserving profile conserves flow. *)
+  (match Serve.Store.view store "twice" with
+  | Serve.Store.Fresh { profile; _ } ->
+      Alcotest.(check int) "flow conservation after self-merge" 0
+        (List.length (Placement.Validate.flow profile))
+  | _ -> Alcotest.fail "expected a fresh view")
+
+let merge_commutative =
+  QCheck.Test.make ~name:"weighted merge is order-independent" ~count:12
+    QCheck.(pair (int_range 1 8) (int_range 1 8))
+    (fun (w1, w2) ->
+      let prof = pipeline_profile () in
+      let prog = prog_of_shared () in
+      let ua = upload_of ~name:"m" ~weight:(float_of_int w1) prof in
+      let ub = upload_of ~name:"m" ~weight:(float_of_int w2) prof in
+      let merged order =
+        let store = Serve.Store.create () in
+        List.iter (fun u -> ignore (must_upload store ~prog u)) order;
+        snapshot store "m"
+      in
+      let ab = merged [ ua; ub ] and ba = merged [ ub; ua ] in
+      if ab <> ba then QCheck.Test.fail_report "merge order changed the result";
+      (* Integer-weighted merges of a flow-conserving profile conserve
+         flow by linearity. *)
+      String.length ab > 0 && ab <> "<empty>")
+
+let poisoned_pins_last_good () =
+  let store = Serve.Store.create () in
+  let prog = prog_of_shared () in
+  let prof = pipeline_profile () in
+  ignore (must_upload store ~prog (upload_of ~name:"p" ~epoch:1 prof));
+  let good = snapshot store "p" in
+  (* Structurally valid, but entry counts without matching block weights
+     break flow conservation: the upload is accepted and poisons. *)
+  let o =
+    must_upload store ~prog
+      {
+        Serve.Protocol.profile = "p";
+        bench;
+        epoch = Some 2;
+        weight = 1.0;
+        blocks = [];
+        arcs = [];
+        entries = [ (0, 7.0) ];
+        calls = [];
+      }
+  in
+  Alcotest.(check bool) "poisoning upload accepted" true o.accepted;
+  Alcotest.(check bool) "marked poisoned" true o.poisoned;
+  Alcotest.(check bool) "violations reported" true (o.flow_violations > 0);
+  (match Serve.Store.view store "p" with
+  | Serve.Store.Last_good { epoch; _ } ->
+      Alcotest.(check int) "pinned to the last good epoch" 1 epoch
+  | _ -> Alcotest.fail "expected the last-good view");
+  Alcotest.(check string) "last-good snapshot unchanged" good
+    (snapshot store "p")
+
+let stale_epoch_rejected () =
+  let store = Serve.Store.create ~window:4 () in
+  let prog = prog_of_shared () in
+  let prof = pipeline_profile () in
+  ignore (must_upload store ~prog (upload_of ~name:"s" ~epoch:5 prof));
+  let o = must_upload store ~prog (upload_of ~name:"s" ~epoch:0 prof) in
+  Alcotest.(check bool) "stale upload not merged" false o.accepted;
+  Alcotest.(check (option string)) "typed reason" (Some "stale-epoch") o.reason;
+  Alcotest.(check int) "window floor" 2 o.min_live
+
+let store_cap_evicts () =
+  let store = Serve.Store.create ~cap:2 () in
+  let prog = prog_of_shared () in
+  let prof = pipeline_profile () in
+  List.iter
+    (fun name -> ignore (must_upload store ~prog (upload_of ~name prof)))
+    [ "a"; "b"; "c"; "d" ];
+  Alcotest.(check int) "store stays at its cap" 2 (Serve.Store.size store);
+  (* The most recent uploads survive. *)
+  Alcotest.(check bool) "latest profile resident" true
+    (Serve.Store.view store "d" <> Serve.Store.Unknown);
+  Alcotest.(check bool) "oldest profile evicted" true
+    (Serve.Store.view store "a" = Serve.Store.Unknown)
+
+(* ------------------------------------------------------------------ *)
+(* Degradation tiers and deadlines                                     *)
+(* ------------------------------------------------------------------ *)
+
+let deadline_semantics () =
+  let d = Lazy.force shared in
+  let resp, _ =
+    Serve.Daemon.handle_line d
+      (layout_line ~id:1 [ ("deadline_ms", Obs.Json.Int 0) ])
+  in
+  Alcotest.(check string) "zero deadline times out" "timeout" (status_of resp);
+  (match Obs.Json.member "retry_after_ms" resp with
+  | Some (Obs.Json.Int r) ->
+      Alcotest.(check bool) "retry hint bounded" true (r >= 1 && r <= 10_000)
+  | _ -> Alcotest.fail "timeout must carry retry_after_ms");
+  let resp, _ =
+    Serve.Daemon.handle_line d
+      (layout_line ~id:2 [ ("deadline_ms", Obs.Json.Int 1) ])
+  in
+  Alcotest.(check string) "tight deadline served" "ok" (status_of resp);
+  Alcotest.(check string) "tier is cheapest-strategy" "cheapest-strategy"
+    (str_field "tier" resp);
+  Alcotest.(check string) "served the natural layout" "natural"
+    (str_field "strategy" resp);
+  Alcotest.(check string) "requested strategy reported" "impact"
+    (str_field "requested_strategy" resp)
+
+let raising_strategy_degrades () =
+  let config =
+    {
+      small_config with
+      extra_strategies = [ Serve.Chaos.chaos_strategy ];
+    }
+  in
+  let d = Serve.Daemon.create ~config () in
+  Obs.Log.set_quiet true;
+  Fun.protect ~finally:(fun () -> Obs.Log.set_quiet false) @@ fun () ->
+  let resp, _ =
+    Serve.Daemon.handle_line d
+      (layout_line ~id:1 [ ("strategy", Obs.Json.String "chaos-raise") ])
+  in
+  Alcotest.(check string) "raising strategy still serves" "ok"
+    (status_of resp);
+  Alcotest.(check string) "tier is natural-fallback" "natural-fallback"
+    (str_field "tier" resp);
+  Alcotest.(check string) "natural layout substituted" "natural"
+    (str_field "strategy" resp)
+
+let poisoned_profile_tier () =
+  let d = Serve.Daemon.create ~config:small_config () in
+  let prof = pipeline_profile () in
+  let upload =
+    line_of
+      (Serve.Protocol.upload_request_of_profile ~name:"g" ~bench ~epoch:1 prof)
+  in
+  let poison =
+    request ~id:2 ~typ:"profile-upload"
+      [
+        ("profile", Obs.Json.String "g");
+        ("bench", Obs.Json.String bench);
+        ("epoch", Obs.Json.Int 2);
+        ( "entries",
+          Obs.Json.List [ Obs.Json.List [ Obs.Json.Int 0; Obs.Json.Int 3 ] ] );
+      ]
+  in
+  let ask ~id =
+    layout_line ~id [ ("profile", Obs.Json.String "g") ]
+  in
+  match Serve.Daemon.run_lines d [ upload; ask ~id:10; poison; ask ~id:11 ] with
+  | [ up; fresh; poisoned; pinned ] ->
+      Alcotest.(check string) "upload ok" "ok" (status_of up);
+      Alcotest.(check string) "fresh tier" "none" (str_field "tier" fresh);
+      Alcotest.(check string) "poisoning accepted" "ok" (status_of poisoned);
+      Alcotest.(check string) "pinned tier" "last-good-epoch"
+        (str_field "tier" pinned)
+  | other -> Alcotest.failf "expected 4 responses, got %d" (List.length other)
+
+let unknown_profile_errors () =
+  let d = Lazy.force shared in
+  let resp, _ =
+    Serve.Daemon.handle_line d
+      (layout_line ~id:1 [ ("profile", Obs.Json.String "never-uploaded") ])
+  in
+  Alcotest.(check string) "unknown profile is an error" "error"
+    (status_of resp);
+  Alcotest.(check int) "usage code" 2 (error_code resp)
+
+(* ------------------------------------------------------------------ *)
+(* Context memo bounds                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let context_memo_cap () =
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled false) @@ fun () ->
+  let before = Obs.Metrics.value Experiments.Context.memo_evictions in
+  let ctx = Experiments.Context.create ~memo_cap:2 ~names:[ bench ] () in
+  let entry = Experiments.Context.find ctx bench in
+  let map = Experiments.Context.optimized_map entry in
+  let trace = Experiments.Context.trace entry in
+  let configs =
+    List.map
+      (fun size -> Icache.Config.make ~size ~block:64 ())
+      [ 512; 1024; 2048; 4096 ]
+  in
+  let results =
+    List.map (fun c -> Experiments.Context.simulate entry c map trace) configs
+  in
+  Alcotest.(check int) "all four configs simulated" 4 (List.length results);
+  Alcotest.(check bool) "memo stays at its cap" true
+    (Hashtbl.length entry.Experiments.Context.sim_cache <= 2);
+  Alcotest.(check bool) "evictions counted" true
+    (Obs.Metrics.value Experiments.Context.memo_evictions > before);
+  (* Evicted points are recomputed with identical results. *)
+  let again = Experiments.Context.simulate entry (List.hd configs) map trace in
+  Alcotest.(check (float 0.0)) "recomputed result identical"
+    (List.hd results).Sim.Driver.miss_ratio again.Sim.Driver.miss_ratio
+
+let strategy_map_cap () =
+  let ctx = Experiments.Context.create ~strategy_cap:2 ~names:[ bench ] () in
+  let entry = Experiments.Context.find ctx bench in
+  List.iter
+    (fun s -> ignore (Experiments.Context.strategy_map entry s))
+    Placement.Strategy.all;
+  Alcotest.(check bool) "strategy maps bounded" true
+    (List.length entry.Experiments.Context.strategy_maps <= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Golden vectors and batching determinism                             *)
+(* ------------------------------------------------------------------ *)
+
+let read_lines path =
+  In_channel.with_open_bin path @@ fun ic ->
+  let rec go acc =
+    match In_channel.input_line ic with
+    | Some l -> go (l :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+(* `dune runtest` runs with the test directory as cwd; `dune exec
+   test/test_impact.exe` runs from the project root. *)
+let vector_path p = if Sys.file_exists p then p else Filename.concat "test" p
+
+let golden_replay () =
+  let requests = read_lines (vector_path "vectors/serve/requests.ndjson") in
+  let expected = read_lines (vector_path "vectors/serve/responses.ndjson") in
+  Obs.Log.set_quiet true;
+  Fun.protect ~finally:(fun () -> Obs.Log.set_quiet false) @@ fun () ->
+  let d = Serve.Daemon.create ~config:small_config () in
+  let got = List.map line_of (Serve.Daemon.run_lines d requests) in
+  Alcotest.(check int) "one response per recorded request"
+    (List.length expected) (List.length got);
+  List.iteri
+    (fun i (g, e) ->
+      Alcotest.(check string) (Printf.sprintf "response %d byte-identical" i) e
+        g)
+    (List.combine got expected)
+
+let batching_deterministic () =
+  Obs.Log.set_quiet true;
+  Fun.protect ~finally:(fun () -> Obs.Log.set_quiet false) @@ fun () ->
+  let lines =
+    request ~id:0 ~typ:"stats" []
+    :: List.concat_map
+         (fun strategy ->
+           [
+             layout_line ~id:1 [ ("strategy", Obs.Json.String strategy) ];
+             "garbage in the middle";
+           ])
+         [ "impact"; "natural"; "ph" ]
+    @ [ request ~id:99 ~typ:"stats" []; request ~id:100 ~typ:"shutdown" [] ]
+  in
+  let run () =
+    let d = Serve.Daemon.create ~config:small_config () in
+    List.map line_of (Serve.Daemon.run_lines d lines)
+  in
+  let serial = run () in
+  let saved = Placement.Pool.default () in
+  let pool = Placement.Pool.create 2 in
+  Placement.Pool.set_default (Some pool);
+  let parallel =
+    Fun.protect
+      ~finally:(fun () ->
+        Placement.Pool.set_default saved;
+        Placement.Pool.shutdown pool)
+      run
+  in
+  Alcotest.(check (list string)) "responses byte-identical under -j 2" serial
+    parallel
+
+let chaos_campaign () =
+  Obs.Log.set_quiet true;
+  Fun.protect ~finally:(fun () -> Obs.Log.set_quiet false) @@ fun () ->
+  let report = Serve.Chaos.run ~seed:1234 ~n:60 () in
+  Alcotest.(check int) "one response per request" report.Serve.Chaos.requests
+    report.responses;
+  Alcotest.(check (list string)) "no contract violations" []
+    report.violations;
+  Alcotest.(check bool) "every abuse family exercised" true
+    (List.length report.by_category >= 8)
+
+let suite =
+  [
+    Alcotest.test_case "protocol roundtrip" `Quick protocol_roundtrip;
+    Alcotest.test_case "error taxonomy" `Quick error_taxonomy;
+    Alcotest.test_case "request isolation" `Quick request_isolation;
+    Alcotest.test_case "oversize bounded" `Quick oversize_bounded;
+    Alcotest.test_case "self-merge doubles weights" `Quick merge_self_doubles;
+    QCheck_alcotest.to_alcotest merge_commutative;
+    Alcotest.test_case "poisoned pins last good" `Quick poisoned_pins_last_good;
+    Alcotest.test_case "stale epoch rejected" `Quick stale_epoch_rejected;
+    Alcotest.test_case "store cap evicts LRU" `Quick store_cap_evicts;
+    Alcotest.test_case "deadline semantics" `Quick deadline_semantics;
+    Alcotest.test_case "raising strategy degrades" `Quick
+      raising_strategy_degrades;
+    Alcotest.test_case "poisoned profile tier" `Quick poisoned_profile_tier;
+    Alcotest.test_case "unknown profile errors" `Quick unknown_profile_errors;
+    Alcotest.test_case "context memo cap" `Quick context_memo_cap;
+    Alcotest.test_case "strategy map cap" `Quick strategy_map_cap;
+    Alcotest.test_case "golden vector replay" `Quick golden_replay;
+    Alcotest.test_case "batching deterministic" `Quick batching_deterministic;
+    Alcotest.test_case "chaos campaign" `Slow chaos_campaign;
+  ]
