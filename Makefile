@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make ci` on every PR.
 
-.PHONY: all build test bench bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke par-smoke stream-smoke serve-smoke ci clean
+.PHONY: all build test bench bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke par-smoke stream-smoke serve-smoke trace-smoke soak-smoke ci clean
 
 all: build
 
@@ -111,7 +111,34 @@ serve-smoke:
 	dune exec bin/checkjson.exe -- --ndjson _serve/replay-j2.ndjson \
 	  test/vectors/serve/responses.ndjson
 
-ci: build test bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke par-smoke stream-smoke serve-smoke
+# Request tracing end to end: replaying the golden stream with span
+# recording on must stay byte-identical to the committed responses
+# (instrumentation never changes results), and the emitted Chrome trace
+# and metrics dump must exist and parse back.
+trace-smoke:
+	rm -rf _trace && mkdir -p _trace
+	dune exec bin/serve.exe -- --replay test/vectors/serve/requests.ndjson \
+	  --expect test/vectors/serve/responses.ndjson -b cmp -q \
+	  --trace-out _trace/serve-trace.json
+	test -s _trace/serve-trace.json
+	dune exec bin/checkjson.exe -- _trace/serve-trace.json
+	dune exec bin/serve.exe -- --replay test/vectors/serve/requests.ndjson \
+	  -b cmp -q --metrics-out _trace/serve-metrics.txt > /dev/null
+	grep -q "serve.latency.all.seconds" _trace/serve-metrics.txt
+
+# Sustained-load soak: 30 seconds of the seeded chaos-weighted workload
+# with telemetry live.  The harness itself asserts the contract — zero
+# crashes, one response per request, exactly-once staleness
+# notifications, nonzero latency quantiles, live heap under the ceiling
+# — and exits 1 on any violation; the impact.soak/v1 report must
+# re-parse with its required fields present.
+soak-smoke:
+	rm -rf _soak && mkdir -p _soak
+	dune exec bin/serve.exe -- --soak 30 --soak-ceiling-mb 512 \
+	  --soak-out _soak/soak.json -q
+	dune exec bin/checkjson.exe -- _soak/soak.json
+
+ci: build test bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke par-smoke stream-smoke serve-smoke trace-smoke soak-smoke
 
 clean:
 	dune clean

@@ -16,16 +16,42 @@ let known_schemas =
     "impact.lint/v1";
     "impact.serve/v1";
     "impact.serve-chaos/v1";
+    "impact.soak/v1";
+    "impact.metrics/v1";
+  ]
+
+(* Known documents with a fixed shape also get a required-field check:
+   a soak report missing its contract sections is as useless to CI as
+   unparsable JSON, so it fails with the same exit code. *)
+let required_fields =
+  [
+    ( "impact.soak/v1",
+      [ "seed"; "requests"; "responses"; "latency"; "memory"; "violations" ] );
+    ("impact.metrics/v1", [ "metrics" ]);
   ]
 
 type verdict = { mutable parse_failed : bool; mutable bad_schema : bool }
+
+let check_fields v ~where schema json =
+  match List.assoc_opt schema required_fields with
+  | None -> ()
+  | Some fields ->
+      List.iter
+        (fun f ->
+          if Obs.Json.member f json = None then begin
+            Printf.eprintf "checkjson: %s: %s document missing %S\n" where
+              schema f;
+            v.parse_failed <- true
+          end)
+        fields
 
 let check_schema v ~where json =
   match json with
   | Obs.Json.Obj _ -> (
       match Obs.Json.member "schema" json with
       | None -> ()  (* schema-less documents (e.g. Chrome traces) are fine *)
-      | Some (Obs.Json.String s) when List.mem s known_schemas -> ()
+      | Some (Obs.Json.String s) when List.mem s known_schemas ->
+          check_fields v ~where s json
       | Some (Obs.Json.String s) ->
           Printf.eprintf "checkjson: %s: unknown schema %S\n" where s;
           v.bad_schema <- true
@@ -49,9 +75,9 @@ let check_ndjson v path =
                let where = Printf.sprintf "%s:%d" path !line_no in
                match Obs.Json.parse line with
                | Ok json ->
-                   let before = v.bad_schema in
+                   let before = (v.bad_schema, v.parse_failed) in
                    check_schema v ~where json;
-                   if v.bad_schema <> before then ok := false
+                   if (v.bad_schema, v.parse_failed) <> before then ok := false
                | Error msg ->
                    Printf.eprintf "checkjson: %s: %s\n" where msg;
                    v.parse_failed <- true;
@@ -66,9 +92,10 @@ let check_file v ~ndjson path =
     else
       match Obs.Json.of_file path with
       | Ok json ->
-          let before = v.bad_schema in
+          let before = (v.bad_schema, v.parse_failed) in
           check_schema v ~where:path json;
-          if v.bad_schema = before then Printf.printf "checkjson: ok %s\n" path
+          if (v.bad_schema, v.parse_failed) = before then
+            Printf.printf "checkjson: ok %s\n" path
       | Error msg ->
           Printf.eprintf "checkjson: %s: %s\n" path msg;
           v.parse_failed <- true

@@ -13,7 +13,16 @@
      divergence (the determinism gate: `-j 1` and `-j N` must agree
      with the recording exactly).
    - --chaos: run the seeded fault-injection campaign and fail unless
-     every contract holds. *)
+     every contract holds.
+   - --soak SECONDS: drive the seeded chaos-weighted soak workload for
+     the given duration with telemetry on, assert the memory ceiling,
+     and emit an `impact.soak/v1` report.
+
+   Telemetry: --trace-out FILE enables request spans and writes one
+   Chrome trace for the session on exit; --slow-ms N additionally dumps
+   the span tree of any request slower than N ms to stderr;
+   --metrics-out FILE writes the metrics dump (with latency quantiles)
+   on exit. *)
 
 open Cmdliner
 
@@ -72,10 +81,17 @@ let window_arg =
     & opt int Serve.Daemon.default_config.epoch_window
     & info [ "epoch-window" ] ~docv:"N" ~doc)
 
+let slow_arg =
+  let doc =
+    "Dump the span tree of any request slower than $(docv) milliseconds to \
+     stderr (implies span recording)."
+  in
+  Arg.(value & opt (some int) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
+
 let config_term =
   Term.(
     const (fun benches scale deadline_ms max_request_bytes profile_cap
-               memo_cap strategy_cap map_cap epoch_window ->
+               memo_cap strategy_cap map_cap epoch_window slow_ms ->
         {
           Serve.Daemon.default_config with
           benches;
@@ -87,10 +103,11 @@ let config_term =
           strategy_cap;
           map_cap;
           epoch_window;
+          slow_ms;
         })
     $ benches_arg $ scale_arg $ deadline_arg $ max_bytes_arg
     $ profile_cap_arg $ memo_cap_arg $ strategy_cap_arg $ map_cap_arg
-    $ window_arg)
+    $ window_arg $ slow_arg)
 
 let jobs_term =
   let doc =
@@ -123,10 +140,17 @@ let with_parallel jobs f =
       f
   end
 
-let with_telemetry ~quiet ~metrics_out f =
+let with_telemetry ~quiet ~metrics_out ~trace_out ~slow_ms f =
   Obs.Log.set_quiet quiet;
   if metrics_out <> None then Obs.Metrics.set_enabled true;
-  Fun.protect ~finally:(fun () -> Option.iter Obs.Metrics.write metrics_out) f
+  (* The slow-request log needs the span tree, so --slow-ms implies
+     recording even without a trace file. *)
+  if trace_out <> None || slow_ms <> None then Obs.Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter Obs.Metrics.write metrics_out;
+      Option.iter Obs.Span.write_chrome trace_out)
+    f
 
 (* ------------------------------------------------------------------ *)
 (* Modes                                                               *)
@@ -189,9 +213,12 @@ let sample_lines config =
         ("strategy", Obs.Json.String "exttsp");
         ("profile", Obs.Json.String "golden");
       ];
+    (* Subscribe before the poisoning upload so the vectors record one
+       push staleness notification. *)
+    req ~id:7 ~typ:"subscribe" [];
     (* Structurally valid but not flow-conserving: poisons "golden",
        pinning readers to the epoch-1 snapshot. *)
-    req ~id:7 ~typ:"profile-upload"
+    req ~id:8 ~typ:"profile-upload"
       [
         ("profile", Obs.Json.String "golden");
         ("bench", Obs.Json.String bench);
@@ -200,19 +227,20 @@ let sample_lines config =
           Obs.Json.List [ Obs.Json.List [ Obs.Json.Int 0; Obs.Json.Int 7 ] ]
         );
       ];
-    layout ~id:8
+    layout ~id:9
       [
         ("strategy", Obs.Json.String "exttsp");
         ("profile", Obs.Json.String "golden");
       ];
-    layout ~id:9 [ ("deadline_ms", Obs.Json.Int 0) ];
-    layout ~id:10 [ ("deadline_ms", Obs.Json.Int 1) ];
-    layout ~id:11 [ ("strategy", Obs.Json.String "no-such-strategy") ];
-    req ~id:12 ~typ:"layout-request" [ ("bench", Obs.Json.String "no-such-bench") ];
-    {|{"schema":"impact.serve/v1","id":13,"type":|};
-    {|{"schema":"impact.serve/v99","id":14,"type":"stats"}|};
-    req ~id:15 ~typ:"stats" [];
-    req ~id:16 ~typ:"shutdown" [];
+    layout ~id:10 [ ("deadline_ms", Obs.Json.Int 0) ];
+    layout ~id:11 [ ("deadline_ms", Obs.Json.Int 1) ];
+    layout ~id:12 [ ("strategy", Obs.Json.String "no-such-strategy") ];
+    req ~id:13 ~typ:"layout-request" [ ("bench", Obs.Json.String "no-such-bench") ];
+    {|{"schema":"impact.serve/v1","id":14,"type":|};
+    {|{"schema":"impact.serve/v99","id":15,"type":"stats"}|};
+    req ~id:16 ~typ:"health" [];
+    req ~id:17 ~typ:"stats" [];
+    req ~id:18 ~typ:"shutdown" [];
   ]
 
 let first_divergence (got : string list) (want : string list) =
@@ -276,6 +304,40 @@ let run_chaos config seed n out =
     1
   end
 
+let run_soak config seed duration_s interval_ms ceiling_mb out =
+  let soak_config =
+    let base = Serve.Soak.default_config () in
+    {
+      base with
+      Serve.Soak.seed;
+      duration_s;
+      interval_s = float interval_ms /. 1000.0;
+      ceiling_bytes = ceiling_mb * 1024 * 1024;
+      daemon =
+        {
+          base.Serve.Soak.daemon with
+          benches =
+            (match config.Serve.Daemon.benches with
+            | Some _ as b -> b
+            | None -> base.Serve.Soak.daemon.benches);
+          scale = config.Serve.Daemon.scale;
+          slow_ms = config.Serve.Daemon.slow_ms;
+        };
+    }
+  in
+  let report = Serve.Soak.run ~config:soak_config () in
+  print_endline (Serve.Soak.summary report);
+  Option.iter
+    (fun path -> Obs.Json.to_file path (Serve.Soak.report_json report))
+    out;
+  if report.Serve.Soak.violations = [] then 0
+  else begin
+    List.iter
+      (fun v -> Printf.eprintf "soak violation: %s\n" v)
+      report.violations;
+    1
+  end
+
 let run_serve config jobs socket =
   let daemon = Serve.Daemon.create ~config () in
   with_parallel jobs (fun () ->
@@ -323,18 +385,50 @@ let chaos_out_arg =
   let doc = "Write the chaos report as JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "chaos-out" ] ~docv:"FILE" ~doc)
 
-let run config jobs quiet metrics_out socket sample replay expect chaos chaos_n
-    seed chaos_out =
-  with_telemetry ~quiet ~metrics_out @@ fun () ->
+let trace_arg =
+  let doc =
+    "Record request spans and write one Chrome trace for the session to \
+     $(docv) on exit (load it at chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let soak_arg =
+  let doc =
+    "Run the seeded soak workload for $(docv) seconds and emit an \
+     impact.soak/v1 report; exits 1 when any contract violation is observed."
+  in
+  Arg.(value & opt (some float) None & info [ "soak" ] ~docv:"SECONDS" ~doc)
+
+let soak_interval_arg =
+  let doc = "Memory sampling period for the soak, in milliseconds." in
+  Arg.(value & opt int 1000 & info [ "soak-interval-ms" ] ~docv:"MS" ~doc)
+
+let soak_ceiling_arg =
+  let doc = "OCaml live-heap ceiling asserted by the soak, in MiB." in
+  Arg.(value & opt int 512 & info [ "soak-ceiling-mb" ] ~docv:"MB" ~doc)
+
+let soak_out_arg =
+  let doc = "Write the impact.soak/v1 report as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "soak-out" ] ~docv:"FILE" ~doc)
+
+let run config jobs quiet metrics_out trace_out socket sample replay expect
+    chaos chaos_n seed chaos_out soak soak_interval soak_ceiling soak_out =
+  with_telemetry ~quiet ~metrics_out ~trace_out
+    ~slow_ms:config.Serve.Daemon.slow_ms
+  @@ fun () ->
   if sample then begin
     List.iter print_endline (sample_lines config);
     0
   end
   else if chaos then run_chaos config seed chaos_n chaos_out
   else
-    match replay with
-    | Some requests -> run_replay config jobs requests expect
-    | None -> run_serve config jobs socket
+    match soak with
+    | Some duration_s ->
+        run_soak config seed duration_s soak_interval soak_ceiling soak_out
+    | None -> (
+        match replay with
+        | Some requests -> run_replay config jobs requests expect
+        | None -> run_serve config jobs socket)
 
 let cmd =
   let doc = "Fault-tolerant layout service (impact.serve/v1 over stdio)" in
@@ -342,8 +436,9 @@ let cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       const run $ config_term $ jobs_term $ quiet_arg $ metrics_arg
-      $ socket_arg $ sample_arg $ replay_arg $ expect_arg $ chaos_arg
-      $ chaos_n_arg $ seed_arg $ chaos_out_arg)
+      $ trace_arg $ socket_arg $ sample_arg $ replay_arg $ expect_arg
+      $ chaos_arg $ chaos_n_arg $ seed_arg $ chaos_out_arg $ soak_arg
+      $ soak_interval_arg $ soak_ceiling_arg $ soak_out_arg)
 
 let () =
   try exit (Cmd.eval' ~catch:false cmd) with

@@ -43,6 +43,9 @@ type entry = {
          default — a table run's working set is the whole table) *)
   strategy_cap : int option; (* LRU bound on [strategy_maps] *)
   mutable memo_tick : int; (* LRU clock, monotone under the lock *)
+  mutable memo_evicted : int;
+      (* per-context eviction count — live even with metrics off, so a
+         resident service can report it deterministically *)
   pipeline : Placement.Pipeline.t Lazy.t;
   pipeline_noinline : Placement.Pipeline.t Lazy.t; (* inlining ablated *)
   trace : Sim.Trace.t Lazy.t; (* inlined program, trace input *)
@@ -137,6 +140,7 @@ let make_entry ~engine ?memo_cap ?strategy_cap bench =
     memo_cap;
     strategy_cap;
     memo_tick = 0;
+    memo_evicted = 0;
     pipeline;
     pipeline_noinline;
     trace;
@@ -257,6 +261,7 @@ let strategy_map e (s : Placement.Strategy.t) =
     (match e.strategy_cap with
     | Some cap when List.length e.strategy_maps > cap ->
       e.strategy_maps <- List.filteri (fun i _ -> i < cap) e.strategy_maps;
+      e.memo_evicted <- e.memo_evicted + 1;
       Obs.Metrics.incr memo_evictions
     | _ -> ());
     map
@@ -357,6 +362,7 @@ let evict_sim_unlocked e =
       | None -> assert false (* length > cap >= 1 *)
       | Some (k, _) ->
         Hashtbl.remove e.sim_cache k;
+        e.memo_evicted <- e.memo_evicted + 1;
         Obs.Metrics.incr memo_evictions
     done
 

@@ -14,6 +14,11 @@ type entry = {
       (** LRU bound on memoized simulation results; [None] = unbounded *)
   strategy_cap : int option;  (** LRU bound on memoized strategy maps *)
   mutable memo_tick : int;
+  mutable memo_evicted : int;
+      (** memo + strategy-map evictions in this entry; unlike the global
+          {!memo_evictions} counter this is per-context state, live even
+          with the metrics registry off — what a resident service
+          reports in its own stats *)
   pipeline : Placement.Pipeline.t Lazy.t;
   pipeline_noinline : Placement.Pipeline.t Lazy.t;
   trace : Sim.Trace.t Lazy.t;

@@ -45,6 +45,9 @@ type buffer = {
   tid : int; (* Chrome trace lane; 1 = the first recording domain *)
   mutable b_depth : int;
   mutable b_events : event list; (* newest first *)
+  mutable b_count : int; (* List.length b_events, kept for the cap *)
+  mutable b_open : (string * string) list ref list;
+      (* attr accumulators of the open spans, innermost first *)
 }
 
 let on = Atomic.make false
@@ -58,11 +61,35 @@ let next_tid = ref 1 (* under [reg_mutex] *)
 let buffer_key : buffer Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
       Mutex.lock reg_mutex;
-      let b = { tid = !next_tid; b_depth = 0; b_events = [] } in
+      let b =
+        { tid = !next_tid; b_depth = 0; b_events = []; b_count = 0; b_open = [] }
+      in
       incr next_tid;
       buffers := !buffers @ [ b ];
       Mutex.unlock reg_mutex;
       b)
+
+(* Optional per-buffer retention cap for long-running processes (the
+   soak harness): when a buffer holds more than twice the cap, drop the
+   oldest events down to the cap.  Amortised O(1) per record; the
+   newest [cap] spans are always retained. *)
+let cap = Atomic.make (None : int option)
+let set_cap c = Atomic.set cap c
+
+let truncate_to n evs =
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | e :: tl -> e :: take (k - 1) tl
+  in
+  take n evs
+
+let apply_cap b =
+  match Atomic.get cap with
+  | Some c when b.b_count > 2 * c ->
+    b.b_events <- truncate_to c b.b_events;
+    b.b_count <- c
+  | _ -> ()
 
 let now_us () = Clock.now () *. 1e6
 
@@ -77,7 +104,9 @@ let reset () =
   List.iter
     (fun b ->
       b.b_depth <- 0;
-      b.b_events <- [])
+      b.b_events <- [];
+      b.b_count <- 0;
+      b.b_open <- [])
     !buffers;
   Mutex.unlock reg_mutex;
   Atomic.set next_seq 0;
@@ -95,27 +124,55 @@ let with_ ~stage ?(attrs = []) f =
     let b = Domain.DLS.get buffer_key in
     let d = b.b_depth in
     b.b_depth <- d + 1;
+    let extra = ref [] in
+    b.b_open <- extra :: b.b_open;
     let t0 = now_us () in
     let record () =
       let t1 = now_us () in
       b.b_depth <- d;
+      (match b.b_open with _ :: tl -> b.b_open <- tl | [] -> ());
       let seq = 1 + Atomic.fetch_and_add next_seq 1 in
       b.b_events <-
         {
           name = stage;
-          attrs;
+          attrs = attrs @ List.rev !extra;
           start_us = t0 -. !epoch_us;
           dur_us = t1 -. t0;
           depth = d;
           seq;
         }
         :: b.b_events;
+      b.b_count <- b.b_count + 1;
+      apply_cap b;
       if Metrics.enabled () then
         Metrics.observe
           (Metrics.histogram ("span." ^ stage ^ ".seconds"))
           ((t1 -. t0) /. 1e6)
     in
     Fun.protect ~finally:record f
+  end
+
+let add_attr k v =
+  if Atomic.get on then
+    let b = Domain.DLS.get buffer_key in
+    match b.b_open with
+    | extra :: _ -> extra := (k, v) :: !extra
+    | [] -> () (* no open span on this domain: attribute dropped *)
+
+let collect f =
+  if not (Atomic.get on) then (f (), [])
+  else begin
+    let b = Domain.DLS.get buffer_key in
+    let before = b.b_events in
+    let r = f () in
+    (* Walk the (newest-first) list down to the old head; physical
+       equality is exact because recording only conses.  If the cap
+       dropped the old head we collect everything still retained. *)
+    let rec fresh acc evs =
+      if evs == before then acc
+      else match evs with [] -> acc | e :: tl -> fresh (e :: acc) tl
+    in
+    (r, fresh [] b.b_events)
   end
 
 (* ---------- Chrome trace-event export ---------- *)

@@ -22,6 +22,22 @@ val with_ : stage:string -> ?attrs:(string * string) list -> (unit -> 'a) -> 'a
 (** Run the thunk inside a span named [stage].  The span is recorded
     even when the thunk raises. *)
 
+val add_attr : string -> string -> unit
+(** Attach an attribute to the innermost open span on the calling
+    domain, after the attrs passed to {!with_}.  No-op when disabled or
+    when no span is open. *)
+
+val collect : (unit -> 'a) -> 'a * event list
+(** [collect f] runs [f] and additionally returns the spans completed
+    by the calling domain during the call, oldest first.  Returns
+    [(f (), [])] when disabled. *)
+
+val set_cap : int option -> unit
+(** Bound each domain's retained span count (for long-running
+    processes): once a buffer exceeds twice the cap, the oldest spans
+    are dropped down to the cap.  [None] (the default) retains
+    everything. *)
+
 val events : unit -> event list
 (** Completed spans in completion order. *)
 

@@ -37,6 +37,8 @@ type report = {
   seed : int;
   requests : int;
   responses : int;
+  notifications : int;
+      (** push staleness notifications interleaved in the output *)
   ok : int;
   errors : int;
   timeouts : int;
@@ -81,7 +83,7 @@ let strategies = [| "impact"; "natural"; "ph"; "exttsp"; "c3" |]
 let generate rng ~benches ~config i : string * string list * string =
   let bench () = Workloads.Rng.pick_list rng benches in
   let bench0 = List.hd benches in
-  match Workloads.Rng.int rng 16 with
+  match Workloads.Rng.int rng 18 with
   | 0 ->
       ( "layout-valid",
         [ "ok" ],
@@ -204,6 +206,15 @@ let generate rng ~benches ~config i : string * string list * string =
                ( "strategy",
                  Obs.Json.String (Workloads.Rng.pick rng strategies) );
              ]) )
+  | 15 ->
+      (* Subscribing mid-campaign turns later accepted uploads into
+         push notifications — the pairing below must stay correct. *)
+      let profiles =
+        if Workloads.Rng.int rng 2 = 0 then []
+        else [ ("profiles", Obs.Json.List [ Obs.Json.String "chaos-epoch" ]) ]
+      in
+      ("subscribe", [ "ok" ], line_of (base ~id:i ~typ:"subscribe" profiles))
+  | 16 -> ("health", [ "ok" ], line_of (base ~id:i ~typ:"health" []))
   | _ -> ("stats", [ "ok" ], line_of (base ~id:i ~typ:"stats" []))
 
 (* ------------------------------------------------------------------ *)
@@ -280,8 +291,30 @@ let run ?(seed = 0xC4A05) ?(n = 200) ?config () : report =
   in
   let all = seeded @ generated in
   let lines = List.map (fun (_, _, l) -> l) all in
-  let responses = Daemon.run_lines daemon lines in
+  let emitted = Daemon.run_lines daemon lines in
+  (* Push notifications ride the same stream but answer no request:
+     split them out before pairing requests with responses. *)
+  let is_notification j =
+    match Obs.Json.member "type" j with
+    | Some (Obs.Json.String "notification") -> true
+    | _ -> false
+  in
+  let notifications, responses = List.partition is_notification emitted in
   let violations = ref [] in
+  List.iteri
+    (fun i n ->
+      let bad fmt =
+        Printf.ksprintf (fun m -> violations := !violations @ [ m ]) fmt
+      in
+      if Obs.Json.member "schema" n <> Some (Obs.Json.String Protocol.schema)
+      then bad "notification %d: wrong schema" i;
+      (match Obs.Json.member "event" n with
+      | Some (Obs.Json.String "layouts-stale") -> ()
+      | _ -> bad "notification %d: event must be layouts-stale" i);
+      match Obs.Json.member "stale" n with
+      | Some (Obs.Json.List (_ :: _)) -> ()
+      | _ -> bad "notification %d: must name at least one stale layout" i)
+    notifications;
   if List.length responses <> List.length all then
     violations :=
       [
@@ -307,6 +340,7 @@ let run ?(seed = 0xC4A05) ?(n = 200) ?config () : report =
     seed;
     requests = List.length all;
     responses = List.length responses;
+    notifications = List.length notifications;
     ok = !ok;
     errors = !errors;
     timeouts = !timeouts;
@@ -322,6 +356,7 @@ let report_json (r : report) =
       ("seed", Obs.Json.Int r.seed);
       ("requests", Obs.Json.Int r.requests);
       ("responses", Obs.Json.Int r.responses);
+      ("notifications", Obs.Json.Int r.notifications);
       ("ok", Obs.Json.Int r.ok);
       ("errors", Obs.Json.Int r.errors);
       ("timeouts", Obs.Json.Int r.timeouts);
@@ -334,8 +369,8 @@ let report_json (r : report) =
 
 let summary (r : report) =
   Printf.sprintf
-    "chaos: seed %#x, %d requests -> %d responses (%d ok, %d error, %d \
-     timeout), %d violation%s"
-    r.seed r.requests r.responses r.ok r.errors r.timeouts
+    "chaos: seed %#x, %d requests -> %d responses + %d notifications (%d ok, \
+     %d error, %d timeout), %d violation%s"
+    r.seed r.requests r.responses r.notifications r.ok r.errors r.timeouts
     (List.length r.violations)
     (if List.length r.violations = 1 then "" else "s")

@@ -4,10 +4,12 @@
     lints, raising strategies, zero and near-zero deadlines, malformed
     and truncated JSON, nesting bombs, oversized payloads, unknown
     schema versions, uploads with out-of-range ids and non-conserving
-    counts — through the full batched serve loop and checks the
-    robustness contract: the daemon never crashes, answers every
-    request with exactly one well-formed response, and lands in the
-    forced degradation tier where one is expected. *)
+    counts, plus subscribe and health probes — through the full batched
+    serve loop and checks the robustness contract: the daemon never
+    crashes, answers every request with exactly one well-formed
+    response (push notifications are split out of the stream and
+    checked separately), and lands in the forced degradation tier where
+    one is expected. *)
 
 val chaos_strategy : Placement.Strategy.t
 (** Registry entry ["chaos-raise"]: raises from both layout hooks, for
@@ -23,12 +25,23 @@ type report = {
   seed : int;
   requests : int;
   responses : int;
+  notifications : int;
+      (** push staleness notifications interleaved in the output *)
   ok : int;
   errors : int;
   timeouts : int;
   by_category : (string * int) list;
   violations : string list;  (** contract breaches; [[]] = clean campaign *)
 }
+
+val generate :
+  Workloads.Rng.t ->
+  benches:string list ->
+  config:Daemon.config ->
+  int ->
+  string * string list * string
+(** One seeded request: (category, expected statuses, line).  Exposed
+    so the soak harness can reuse the adversarial mix. *)
 
 val run : ?seed:int -> ?n:int -> ?config:Daemon.config -> unit -> report
 (** Run a campaign of [n] (default 200) seeded requests plus one

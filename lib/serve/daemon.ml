@@ -44,6 +44,26 @@ let map_evictions =
   Obs.Metrics.counter "serve.map_evictions"
     ~help:"Custom-profile address maps dropped by the LRU cap"
 
+let notifications_total =
+  Obs.Metrics.counter "serve.notifications"
+    ~help:"Push staleness notifications emitted to subscribers"
+
+(* Latency/queue/batch histograms.  Registered lazily per request type;
+   all no-ops while the metrics registry is disabled (the replay path),
+   so the determinism contract is untouched. *)
+let latency_hist name =
+  Obs.Metrics.histogram
+    ("serve.latency." ^ name ^ ".seconds")
+    ~help:"Wall-clock handling time per request of this type"
+
+let queue_wait_hist =
+  Obs.Metrics.histogram "serve.queue_wait.seconds"
+    ~help:"Read-to-dispatch wait per request"
+
+let batch_size_hist =
+  Obs.Metrics.histogram "serve.batch_size"
+    ~help:"Read-only jobs per pool flush"
+
 type config = {
   deadline_ms : int;
   cheap_threshold_ms : int;
@@ -58,6 +78,8 @@ type config = {
   scale : int;
   benches : string list option;
   extra_strategies : Placement.Strategy.t list;
+  slow_ms : int option;
+      (* requests slower than this dump their span tree to the log *)
 }
 
 let default_config =
@@ -75,19 +97,38 @@ let default_config =
     scale = 1;
     benches = None;
     extra_strategies = [];
+    slow_ms = None;
   }
 
 type t = {
   config : config;
   context : Experiments.Context.t;
   store : Store.t;
+  started_at : float;  (* wall clock at create; stats v2 uptime *)
   lock : Mutex.t;  (* guards map_cache and the emit-time counters *)
   mutable map_cache :
     ((string * int * string * string) * Placement.Address_map.t) list;
       (* (profile, revision, source kind, strategy id) -> map; MRU first *)
+  mutable map_evicted : int;
+      (* daemon-local twin of [map_evictions]: deterministic even with
+         the metrics registry disabled, so stats v2 can report it on
+         the replay path *)
   mutable served : int;
   mutable by_type : (string * int) list;
   mutable by_status : (string * int) list;
+  mutable by_tier : (string * int) list;
+  mutable next_trace : int;
+      (* trace-id source; bumped only by the single-threaded reader
+         (classify / handle_line), so ids are deterministic in input
+         order at any -j *)
+  mutable subs : string list option list;
+      (* subscription filters in arrival order; None = every profile *)
+  mutable notifications_sent : int;
+  notified : (string * string * int, unit) Hashtbl.t;
+      (* (profile, strategy|kind, epoch) already pushed — the
+         exactly-once guard; pruned below the live epoch window *)
+  mutable last_upload : (string * Store.outcome) option;
+      (* set by the upload barrier, drained (or dropped) by the caller *)
   mutable stopped : bool;
 }
 
@@ -104,13 +145,33 @@ let create ?(config = default_config) () =
     config;
     context;
     store;
+    started_at = Obs.Clock.now ();
     lock = Mutex.create ();
     map_cache = [];
+    map_evicted = 0;
     served = 0;
     by_type = [];
     by_status = [];
+    by_tier = [];
+    next_trace = 0;
+    subs = [];
+    notifications_sent = 0;
+    notified = Hashtbl.create 64;
+    last_upload = None;
     stopped = false;
   }
+
+(* Trace ids: assigned at read/classify time by the single-threaded
+   reader, so the id of the Nth request line is always t-%06d of N —
+   byte-identical across -j levels and replays. *)
+let fresh_trace t =
+  t.next_trace <- t.next_trace + 1;
+  Printf.sprintf "t-%06d" t.next_trace
+
+let with_trace trace = function
+  | Obs.Json.Obj fields ->
+      Obs.Json.Obj (fields @ [ ("trace", Obs.Json.String trace) ])
+  | j -> j
 
 let context t = t.context
 let store t = t.store
@@ -143,6 +204,7 @@ let cached_map t ~key build =
       let cache = (key, m) :: t.map_cache in
       if List.length cache > t.config.map_cap then begin
         t.map_cache <- List.filteri (fun i _ -> i < t.config.map_cap) cache;
+        t.map_evicted <- t.map_evicted + 1;
         Obs.Metrics.incr map_evictions
       end
       else t.map_cache <- cache;
@@ -233,12 +295,21 @@ let handle_layout t ~id ~bench ~strategy ~cache_config ~profile ~deadline_ms =
       ~retry_after_ms:(retry_after t deadline)
   else begin
     let t0 = Obs.Clock.now () in
-    let entry = Experiments.Context.find t.context bench in
-    let strat = find_strategy t strategy in
-    let cheap = deadline <= t.config.cheap_threshold_ms in
+    let entry, strat, cheap =
+      Obs.Span.with_ ~stage:"serve.admission"
+        ~attrs:
+          [ ("deadline_ms", string_of_int deadline); ("strategy", strategy) ]
+      @@ fun () ->
+      let entry = Experiments.Context.find t.context bench in
+      let strat = find_strategy t strategy in
+      (entry, strat, deadline <= t.config.cheap_threshold_ms)
+    in
     (* Resolve the profile source first: a bad profile reference must
        error identically whatever the deadline says. *)
     let source, source_name, source_epoch, source_prof =
+      Obs.Span.with_ ~stage:"serve.store-lookup"
+        ~attrs:[ ("profile", Option.value ~default:"-" profile) ]
+      @@ fun () ->
       match profile with
       | None -> ("builtin", None, 0, None)
       | Some pname -> (
@@ -261,6 +332,7 @@ let handle_layout t ~id ~bench ~strategy ~cache_config ~profile ~deadline_ms =
               ("builtin", None, 0, None))
     in
     let effective, map, fell_back =
+      Obs.Span.with_ ~stage:"serve.strategy-map" @@ fun () ->
       if cheap then
         (* Admission control: the deadline only admits the cheapest
            layout.  Deterministic — no clock involved. *)
@@ -287,6 +359,9 @@ let handle_layout t ~id ~bench ~strategy ~cache_config ~profile ~deadline_ms =
       else (effective, map)
     in
     let result =
+      Obs.Span.with_ ~stage:"serve.simulate"
+        ~attrs:[ ("cache", Icache.Config.describe cache_config) ]
+      @@ fun () ->
       Experiments.Context.simulate entry cache_config map
         (Experiments.Context.trace entry)
     in
@@ -304,6 +379,9 @@ let handle_layout t ~id ~bench ~strategy ~cache_config ~profile ~deadline_ms =
         else "none"
       in
       if tier <> "none" then Obs.Metrics.incr degraded_total;
+      (* Attach the outcome to the enclosing serve.request span. *)
+      Obs.Span.add_attr "tier" tier;
+      Obs.Span.add_attr "strategy" effective.Placement.Strategy.id;
       let prog =
         (Experiments.Context.pipeline entry).Placement.Pipeline.program
       in
@@ -340,6 +418,10 @@ let handle_upload t ~id (u : Protocol.upload) =
   match Store.upload t.store ~prog u with
   | Error e -> Protocol.error_response ~id ~request e
   | Ok (o : Store.outcome) ->
+      (* Uploads are barriers, so this write is serial; the serve loop
+         drains it into staleness notifications right after emitting
+         this response. *)
+      if o.accepted then t.last_upload <- Some (u.profile, o);
       Protocol.ok_response ~id ~request
         ([
            ("accepted", Obs.Json.Bool o.accepted);
@@ -353,6 +435,7 @@ let handle_upload t ~id (u : Protocol.upload) =
             ("epochs_live", Obs.Json.Int o.epochs_live);
             ("poisoned", Obs.Json.Bool o.poisoned);
             ("flow_violations", Obs.Json.Int o.flow_violations);
+            ("revision", Obs.Json.Int o.revision);
           ])
 
 let handle_lint t ~id ~bench ~strategy ~min_prob =
@@ -366,6 +449,19 @@ let handle_lint t ~id ~bench ~strategy ~min_prob =
       ("result", Experiments.Lint_exp.result_json r);
     ]
 
+(* Quantile summary of one latency-class histogram, in milliseconds.
+   With the metrics registry disabled (the replay path) every field is
+   exactly zero, keeping stats v2 free of wall-clock values there. *)
+let quantiles_ms_json h =
+  let ms p = Obs.Json.Float (1000.0 *. Obs.Metrics.hist_quantile h p) in
+  Obs.Json.Obj
+    [
+      ("count", Obs.Json.Int (Obs.Metrics.hist_count h));
+      ("p50_ms", ms 0.50);
+      ("p90_ms", ms 0.90);
+      ("p99_ms", ms 0.99);
+    ]
+
 (* Stats is a barrier: it runs serially between batches and reads the
    emit-time counters, so its numbers are exact for everything already
    on the wire — identical under -j 1 and -j N. *)
@@ -375,11 +471,55 @@ let handle_stats t ~id =
     Obs.Json.Obj
       (List.sort compare l |> List.map (fun (k, v) -> (k, Obs.Json.Int v)))
   in
+  let latency_rows =
+    (* One row per request type already served (deterministic sorted
+       order), plus the all-types aggregate. *)
+    List.sort compare (List.map fst t.by_type) @ [ "all" ]
+    |> List.map (fun name -> (name, quantiles_ms_json (latency_hist name)))
+  in
   Protocol.ok_response ~id ~request:"stats"
     [
+      ("stats_version", Obs.Json.Int 2);
+      ( "uptime_seconds",
+        (* Wall clock, so zero unless telemetry is on: replayed stats
+           responses must stay byte-identical. *)
+        Obs.Json.Float
+          (if Obs.Metrics.enabled () then Obs.Clock.now () -. t.started_at
+           else 0.0) );
       ("served", Obs.Json.Int t.served);
       ("by_type", assoc t.by_type);
       ("by_status", assoc t.by_status);
+      ("by_tier", assoc t.by_tier);
+      ("subscriptions", Obs.Json.Int (List.length t.subs));
+      ("notifications", Obs.Json.Int t.notifications_sent);
+      ( "evictions",
+        Obs.Json.Obj
+          [
+            ("profiles", Obs.Json.Int (Store.evictions_total t.store));
+            ("maps", Obs.Json.Int t.map_evicted);
+            (* Per-context count, not the process-global metrics
+               counter: stats stay deterministic and daemon-local. *)
+            ( "memo",
+              Obs.Json.Int
+                (List.fold_left
+                   (fun acc e ->
+                     acc + e.Experiments.Context.memo_evicted)
+                   0
+                   (Experiments.Context.entries t.context)) );
+          ] );
+      ("latency", Obs.Json.Obj latency_rows);
+      ("queue_wait", quantiles_ms_json queue_wait_hist);
+      ( "batch_size",
+        Obs.Json.Obj
+          [
+            ("count", Obs.Json.Int (Obs.Metrics.hist_count batch_size_hist));
+            ( "p50",
+              Obs.Json.Float (Obs.Metrics.hist_quantile batch_size_hist 0.50)
+            );
+            ( "p99",
+              Obs.Json.Float (Obs.Metrics.hist_quantile batch_size_hist 0.99)
+            );
+          ] );
       ("profiles", Store.stats_json t.store);
       ( "limits",
         Obs.Json.Obj
@@ -404,29 +544,196 @@ let handle_stats t ~id =
           ] );
     ]
 
+(* Subscribe is a barrier: registering the filter between batches means
+   every later upload's notifications are observed, none racily
+   missed.  Duplicate filters collapse, so a client re-subscribing in a
+   retry loop cannot grow the daemon. *)
+let handle_subscribe t ~id ~profiles =
+  Mutex.protect t.lock @@ fun () ->
+  if not (List.mem profiles t.subs) then t.subs <- t.subs @ [ profiles ];
+  Protocol.ok_response ~id ~request:"subscribe"
+    [
+      ( "subscribed",
+        match profiles with
+        | None -> Obs.Json.String "all"
+        | Some l -> Obs.Json.List (List.map (fun p -> Obs.Json.String p) l) );
+      ("active_subscriptions", Obs.Json.Int (List.length t.subs));
+    ]
+
+(* Health verdict from the degradation counters: degraded while any
+   profile is poisoned or any request was served by natural-fallback
+   (a strategy raised — a bug or an adversarial strategy, not an
+   admission decision); ready otherwise.  Deterministic — counts only,
+   no clock. *)
+let handle_health t ~id =
+  let poisoned = Store.poisoned_count t.store in
+  Mutex.protect t.lock @@ fun () ->
+  let tier k = Option.value ~default:0 (List.assoc_opt k t.by_tier) in
+  let fallbacks = tier "natural-fallback" in
+  let degraded = poisoned > 0 || fallbacks > 0 in
+  Protocol.ok_response ~id ~request:"health"
+    [
+      ("verdict", Obs.Json.String (if degraded then "degraded" else "ready"));
+      ("ready", Obs.Json.Bool (not degraded));
+      ( "checks",
+        Obs.Json.Obj
+          [
+            ("poisoned_profiles", Obs.Json.Int poisoned);
+            ("natural_fallbacks", Obs.Json.Int fallbacks);
+            ("last_good_served", Obs.Json.Int (tier "last-good-epoch"));
+            ("cheapest_served", Obs.Json.Int (tier "cheapest-strategy"));
+            ( "timeouts",
+              Obs.Json.Int
+                (Option.value ~default:0 (List.assoc_opt "timeout" t.by_status))
+            );
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Push-style staleness notifications                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* After an accepted upload (a barrier), every cached address map for
+   that profile at an older revision is stale.  Each (profile,
+   strategy|kind, epoch) is pushed at most once — the [notified] table
+   is the exactly-once guard — and only while some subscription filter
+   matches, so an unobserved staleness costs nothing.  Runs serially
+   right after the upload's own response, keeping notification order
+   deterministic at any -j. *)
+let take_notifications t ~trace : Obs.Json.t list =
+  match t.last_upload with
+  | None -> []
+  | Some (pname, o) ->
+      t.last_upload <- None;
+      let subscribed =
+        List.exists
+          (function None -> true | Some l -> List.mem pname l)
+          t.subs
+      in
+      if not subscribed then []
+      else begin
+        (* Forget guards below the live window; stale-epoch uploads
+           can never notify again, so the table stays bounded. *)
+        let drop =
+          Hashtbl.fold
+            (fun (p, sk, e) () acc ->
+              if p = pname && e < o.Store.min_live then (p, sk, e) :: acc
+              else acc)
+            t.notified []
+        in
+        List.iter (fun k -> Hashtbl.remove t.notified k) drop;
+        let stale =
+          Mutex.protect t.lock (fun () ->
+              List.filter_map
+                (fun ((p, rev, kind, strat), _) ->
+                  if p = pname && rev < o.Store.revision then
+                    Some (strat, kind, rev)
+                  else None)
+                t.map_cache)
+          |> List.sort_uniq compare
+          (* One staleness fact per (strategy, kind): several cached
+             revisions of the same map collapse to the newest. *)
+          |> List.fold_left
+               (fun acc (strat, kind, rev) ->
+                 match acc with
+                 | (s, k, r) :: tl when s = strat && k = kind ->
+                     (s, k, max r rev) :: tl
+                 | _ -> (strat, kind, rev) :: acc)
+               []
+          |> List.rev
+          |> List.filter (fun (strat, kind, _) ->
+                 not
+                   (Hashtbl.mem t.notified
+                      (pname, strat ^ "|" ^ kind, o.Store.epoch)))
+        in
+        if stale = [] then []
+        else begin
+          List.iter
+            (fun (strat, kind, _) ->
+              Hashtbl.replace t.notified
+                (pname, strat ^ "|" ^ kind, o.Store.epoch)
+                ())
+            stale;
+          t.notifications_sent <- t.notifications_sent + 1;
+          Obs.Metrics.incr notifications_total;
+          [
+            Protocol.stale_notification ~trace ~profile:pname
+              ~epoch:o.Store.epoch ~revision:o.Store.revision
+              ~poisoned:o.Store.poisoned ~stale;
+          ]
+        end
+      end
+
 (* ------------------------------------------------------------------ *)
 (* Request isolation                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* Total: whatever a request provokes, the answer is a response. *)
-let respond t (p : Protocol.parsed) : Obs.Json.t =
+(* One request's span tree, indented by nesting depth — what --slow-ms
+   dumps for an offending request. *)
+let span_tree_lines (spans : Obs.Span.event list) =
+  List.sort (fun (a : Obs.Span.event) b -> compare a.start_us b.start_us) spans
+  |> List.map (fun (e : Obs.Span.event) ->
+         Printf.sprintf "%s%s %.2f ms%s"
+           (String.make (2 * e.depth) ' ')
+           e.name (e.dur_us /. 1000.0)
+           (match e.attrs with
+           | [] -> ""
+           | attrs ->
+               " ["
+               ^ String.concat ", "
+                   (List.map (fun (k, v) -> k ^ "=" ^ v) attrs)
+               ^ "]"))
+
+(* Total: whatever a request provokes, the answer is a response.  The
+   whole dispatch runs inside a [serve.request] span (child spans mark
+   parse/admission/store-lookup/strategy-map/simulate), feeds the
+   per-type latency histograms, and — past --slow-ms — dumps the
+   request's span tree to the log. *)
+let respond t ~trace ?enq (p : Protocol.parsed) : Obs.Json.t =
   let name = Protocol.request_name p.req in
-  try
-    Obs.Span.with_ ~stage:("serve." ^ name) @@ fun () ->
-    match p.req with
-    | Protocol.Layout_request { bench; strategy; config; profile; deadline_ms }
-      ->
-        handle_layout t ~id:p.id ~bench ~strategy ~cache_config:config
-          ~profile ~deadline_ms
-    | Protocol.Profile_upload u -> handle_upload t ~id:p.id u
-    | Protocol.Lint_request { bench; strategy; min_prob } ->
-        handle_lint t ~id:p.id ~bench ~strategy ~min_prob
-    | Protocol.Stats -> handle_stats t ~id:p.id
-    | Protocol.Shutdown ->
-        Protocol.ok_response ~id:p.id ~request:"shutdown"
-          [ ("stopping", Obs.Json.Bool true) ]
-  with exn ->
-    Protocol.error_response ~id:p.id ~request:name (Protocol.error_of_exn exn)
+  let t0 = Obs.Clock.now () in
+  (match enq with
+  | Some at when Obs.Metrics.enabled () ->
+      Obs.Metrics.observe queue_wait_hist (t0 -. at)
+  | _ -> ());
+  let resp, spans =
+    Obs.Span.collect @@ fun () ->
+    try
+      Obs.Span.with_ ~stage:"serve.request"
+        ~attrs:[ ("trace", trace); ("type", name) ]
+      @@ fun () ->
+      match p.req with
+      | Protocol.Layout_request
+          { bench; strategy; config; profile; deadline_ms } ->
+          handle_layout t ~id:p.id ~bench ~strategy ~cache_config:config
+            ~profile ~deadline_ms
+      | Protocol.Profile_upload u -> handle_upload t ~id:p.id u
+      | Protocol.Lint_request { bench; strategy; min_prob } ->
+          handle_lint t ~id:p.id ~bench ~strategy ~min_prob
+      | Protocol.Stats -> handle_stats t ~id:p.id
+      | Protocol.Subscribe { profiles } ->
+          handle_subscribe t ~id:p.id ~profiles
+      | Protocol.Health -> handle_health t ~id:p.id
+      | Protocol.Shutdown ->
+          Protocol.ok_response ~id:p.id ~request:"shutdown"
+            [ ("stopping", Obs.Json.Bool true) ]
+    with exn ->
+      Protocol.error_response ~id:p.id ~request:name (Protocol.error_of_exn exn)
+  in
+  let dt = Obs.Clock.now () -. t0 in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.observe (latency_hist name) dt;
+    Obs.Metrics.observe (latency_hist "all") dt
+  end;
+  (match t.config.slow_ms with
+  | Some ms when dt *. 1000.0 > float_of_int ms ->
+      Obs.Log.warn_raw
+        (String.concat "\n"
+           (Printf.sprintf "slow request %s (%s): %.2f ms (limit %d ms)" trace
+              name (dt *. 1000.0) ms
+           :: span_tree_lines spans))
+  | _ -> ());
+  with_trace trace resp
 
 let oversize_response n limit =
   Protocol.error_response ~id:Obs.Json.Null ~request:"unknown"
@@ -434,47 +741,72 @@ let oversize_response n limit =
        (Printf.sprintf "request too large: %d bytes (limit %d)" n limit))
 
 (* The serial total function: one line in, one response out.  What the
-   chaos harness and the unit tests drive directly. *)
+   chaos harness and the unit tests drive directly.  Staleness
+   notifications are a serve-loop concept: an upload handled here drops
+   its pending notification without emitting it or consuming the
+   exactly-once guard. *)
 let handle_line t line : Obs.Json.t * bool =
+  let trace = fresh_trace t in
   let n = String.length line in
   if n > t.config.max_request_bytes then
-    (oversize_response n t.config.max_request_bytes, false)
+    (with_trace trace (oversize_response n t.config.max_request_bytes), false)
   else
     match Protocol.parse_request ~max_bytes:t.config.max_request_bytes line with
     | Error (id, e) ->
-        (Protocol.error_response ~id ~request:"unknown" e, false)
+        (with_trace trace (Protocol.error_response ~id ~request:"unknown" e),
+         false)
     | Ok p ->
         let stop = match p.req with Protocol.Shutdown -> true | _ -> false in
-        (respond t p, stop)
+        let resp = respond t ~trace p in
+        t.last_upload <- None;
+        (resp, stop)
 
 (* ------------------------------------------------------------------ *)
 (* The batched serve loop                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Each job carries the trace id assigned at read time and the enqueue
+   timestamp (0 with metrics off — never read then). *)
 type job =
-  | Compute of Protocol.parsed  (** read-only: dispatched across the pool *)
+  | Compute of { trace : string; enq : float; p : Protocol.parsed }
+      (** read-only: dispatched across the pool *)
   | Immediate of Obs.Json.t  (** already answered (parse/size errors) *)
 
-type item = Job of job | Barrier of Protocol.parsed
+type item =
+  | Job of job
+  | Barrier of { trace : string; enq : float; p : Protocol.parsed }
 
 let classify t line : item option =
   if String.trim line = "" then None
-  else
+  else begin
+    let trace = fresh_trace t in
+    let enq = if Obs.Metrics.enabled () then Obs.Clock.now () else 0.0 in
     let n = String.length line in
     if n > t.config.max_request_bytes then
-      Some (Job (Immediate (oversize_response n t.config.max_request_bytes)))
+      Some
+        (Job
+           (Immediate
+              (with_trace trace (oversize_response n t.config.max_request_bytes))))
     else
       match
+        Obs.Span.with_ ~stage:"serve.parse" ~attrs:[ ("trace", trace) ]
+        @@ fun () ->
         Protocol.parse_request ~max_bytes:t.config.max_request_bytes line
       with
       | Error (id, e) ->
-          Some (Job (Immediate (Protocol.error_response ~id ~request:"unknown" e)))
+          Some
+            (Job
+               (Immediate
+                  (with_trace trace
+                     (Protocol.error_response ~id ~request:"unknown" e))))
       | Ok p -> (
           match p.req with
           | Protocol.Layout_request _ | Protocol.Lint_request _ ->
-              Some (Job (Compute p))
-          | Protocol.Profile_upload _ | Protocol.Stats | Protocol.Shutdown ->
-              Some (Barrier p))
+              Some (Job (Compute { trace; enq; p }))
+          | Protocol.Profile_upload _ | Protocol.Stats | Protocol.Subscribe _
+          | Protocol.Health | Protocol.Shutdown ->
+              Some (Barrier { trace; enq; p }))
+  end
 
 let account t resp =
   Mutex.protect t.lock @@ fun () ->
@@ -492,23 +824,32 @@ let account t resp =
   t.by_type <- bump t.by_type (get resp "request");
   let status = get resp "status" in
   t.by_status <- bump t.by_status status;
+  (match Obs.Json.member "tier" resp with
+  | Some (Obs.Json.String tier) -> t.by_tier <- bump t.by_tier tier
+  | _ -> ());
   Obs.Metrics.incr requests_total;
   if status = "error" then Obs.Metrics.incr errors_total;
   if status = "timeout" then Obs.Metrics.incr timeouts_total
 
 (* Generic loop over a line producer: collects read-only jobs into
    constant-width batches, fans each batch across the default pool,
-   emits in input order, and handles barriers serially in between. *)
+   emits in input order, and handles barriers serially in between.
+   Upload barriers additionally drain push-style staleness
+   notifications right after their own response — serially, so the
+   notification stream is deterministic at any -j. *)
 let serve_generic t ~(next : unit -> string option) ~(emit : Obs.Json.t -> unit)
     =
   let emit_accounted resp =
+    Obs.Span.with_ ~stage:"serve.emit" @@ fun () ->
     account t resp;
     emit resp
   in
   let flush jobs =
     let jobs = List.rev jobs in
+    if jobs <> [] && Obs.Metrics.enabled () then
+      Obs.Metrics.observe batch_size_hist (float_of_int (List.length jobs));
     let run = function
-      | Compute p -> respond t p
+      | Compute { trace; enq; p } -> respond t ~trace ~enq p
       | Immediate r -> r
     in
     let responses =
@@ -535,9 +876,13 @@ let serve_generic t ~(next : unit -> string option) ~(emit : Obs.Json.t -> unit)
                 loop [] 0
               end
               else loop pending npending
-          | Some (Barrier p) ->
+          | Some (Barrier { trace; enq; p }) ->
               flush pending;
-              emit_accounted (respond t p);
+              emit_accounted (respond t ~trace ~enq p);
+              (* Notifications ride the same stream but are not
+                 responses: emitted unaccounted (served/by_type count
+                 requests, and the chaos pairing filters them out). *)
+              List.iter emit (take_notifications t ~trace);
               (match p.req with
               | Protocol.Shutdown -> t.stopped <- true
               | _ -> ());

@@ -30,6 +30,9 @@ type config = {
   extra_strategies : Placement.Strategy.t list;
       (** extra registry entries, resolved before the global registry —
           how the chaos harness injects a raising strategy *)
+  slow_ms : int option;
+      (** requests slower than this dump their span tree to the log
+          (requires spans enabled); [None] disables the slow log *)
 }
 
 val default_config : config
@@ -47,13 +50,17 @@ val store : t -> Store.t
 val handle_line : t -> string -> Obs.Json.t * bool
 (** The serial total function: one request line in, one response out,
     never raises.  The boolean is [true] when the line was a shutdown
-    request.  The chaos harness and unit tests drive this directly. *)
+    request.  The chaos harness and unit tests drive this directly.
+    Staleness notifications are a serve-loop concept: an upload handled
+    here drops its pending notification without emitting it or
+    consuming the exactly-once guard. *)
 
 val run_lines : t -> string list -> Obs.Json.t list
 (** Run a request stream through the full batched serve loop (the same
-    code path as {!serve_channels}) and return the responses in input
-    order.  Stops early at a shutdown request; lines past it get no
-    response. *)
+    code path as {!serve_channels}) and return the emitted lines —
+    responses in input order, with any staleness notifications
+    interleaved right after the upload that caused them.  Stops early
+    at a shutdown request; lines past it get no response. *)
 
 val serve_channels : t -> in_channel -> out_channel -> unit
 (** Serve until EOF or a shutdown request; each response line is
@@ -76,3 +83,10 @@ val degraded_total : Obs.Metrics.counter
 
 val map_evictions : Obs.Metrics.counter
 (** Custom-profile address maps dropped by the LRU cap. *)
+
+val notifications_total : Obs.Metrics.counter
+(** Push staleness notifications emitted to subscribers. *)
+
+val latency_hist : string -> Obs.Metrics.histogram
+(** Per-request-type wall-clock latency histogram
+    [serve.latency.<type>.seconds]; ["all"] aggregates every type. *)

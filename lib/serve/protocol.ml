@@ -41,6 +41,9 @@ type request =
       min_prob : float option;
     }
   | Stats
+  | Subscribe of { profiles : string list option }
+      (* push staleness notifications; None = every profile *)
+  | Health
   | Shutdown
 
 type parsed = { id : Obs.Json.t; req : request }
@@ -231,6 +234,8 @@ let request_name = function
   | Profile_upload _ -> "profile-upload"
   | Lint_request _ -> "lint-request"
   | Stats -> "stats"
+  | Subscribe _ -> "subscribe"
+  | Health -> "health"
   | Shutdown -> "shutdown"
 
 (* The request id is echoed verbatim in the response so clients can
@@ -286,6 +291,22 @@ let parse_request ?max_depth ?max_bytes (line : string) :
                   get_opt_number ~what:"min_prob" (member "min_prob" json);
               }
           | "stats" -> Stats
+          | "subscribe" ->
+            let profiles =
+              match member "profiles" json with
+              | None | Some Obs.Json.Null -> None
+              | Some (Obs.Json.List items) ->
+                Some
+                  (List.mapi
+                     (fun i item ->
+                       match item with
+                       | Obs.Json.String s -> s
+                       | _ -> bad "profiles[%d] must be a string" i)
+                     items)
+              | Some _ -> bad "profiles must be an array of strings or null"
+            in
+            Subscribe { profiles }
+          | "health" -> Health
           | "shutdown" -> Shutdown
           | other -> bad "unknown request type %S" other
         in
@@ -332,6 +353,34 @@ let error_response ~id ~request (e : error_info) =
 let timeout_response ~id ~request ~retry_after_ms =
   response ~id ~request ~status:"timeout"
     [ ("retry_after_ms", Obs.Json.Int retry_after_ms) ]
+
+(* Server-push staleness notification (subscribe): not a response to
+   any request, so "type" is "notification" and the id is null.  The
+   trace ties it to the profile-upload that advanced the epoch. *)
+let stale_notification ~trace ~profile ~epoch ~revision ~poisoned ~stale =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String schema);
+      ("id", Obs.Json.Null);
+      ("type", Obs.Json.String "notification");
+      ("event", Obs.Json.String "layouts-stale");
+      ("trace", Obs.Json.String trace);
+      ("profile", Obs.Json.String profile);
+      ("epoch", Obs.Json.Int epoch);
+      ("revision", Obs.Json.Int revision);
+      ("poisoned", Obs.Json.Bool poisoned);
+      ( "stale",
+        Obs.Json.List
+          (List.map
+             (fun (strategy, kind, rev) ->
+               Obs.Json.Obj
+                 [
+                   ("strategy", Obs.Json.String strategy);
+                   ("kind", Obs.Json.String kind);
+                   ("revision", Obs.Json.Int rev);
+                 ])
+             stale) );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Building an upload from a measured profile                          *)

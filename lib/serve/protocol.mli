@@ -32,6 +32,10 @@ type request =
       min_prob : float option;
     }
   | Stats
+  | Subscribe of { profiles : string list option }
+      (** register for push staleness notifications; [None] = every
+          profile *)
+  | Health
   | Shutdown
 
 type parsed = { id : Obs.Json.t; req : request }
@@ -70,6 +74,20 @@ val error_response :
 
 val timeout_response :
   id:Obs.Json.t -> request:string -> retry_after_ms:int -> Obs.Json.t
+
+val stale_notification :
+  trace:string ->
+  profile:string ->
+  epoch:int ->
+  revision:int ->
+  poisoned:bool ->
+  stale:(string * string * int) list ->
+  Obs.Json.t
+(** Server-push line ([type] "notification", [event] "layouts-stale",
+    null id) announcing that cached layouts for [profile] went stale as
+    its epoch advanced; [stale] rows are (strategy, kind, revision) of
+    the invalidated cache entries, and [trace] names the upload request
+    that caused the push. *)
 
 val upload_request_of_profile :
   ?id:Obs.Json.t ->

@@ -52,6 +52,9 @@ type t = {
   window : int;
   profiles : (string, profile) Hashtbl.t;
   mutable tick : int;
+  mutable evicted : int;
+      (* store-local eviction count: deterministic even when the global
+         metrics registry is disabled (the replay path) *)
 }
 
 let create ?cap ?(window = 4) () =
@@ -59,7 +62,14 @@ let create ?cap ?(window = 4) () =
   | Some c when c < 1 -> invalid_arg "Store.create: cap must be >= 1"
   | _ -> ());
   if window < 1 then invalid_arg "Store.create: window must be >= 1";
-  { lock = Mutex.create (); cap; window; profiles = Hashtbl.create 16; tick = 0 }
+  {
+    lock = Mutex.create ();
+    cap;
+    window;
+    profiles = Hashtbl.create 16;
+    tick = 0;
+    evicted = 0;
+  }
 
 let tick t =
   t.tick <- t.tick + 1;
@@ -171,6 +181,7 @@ type outcome = {
   epochs_live : int;
   poisoned : bool;
   flow_violations : int;
+  revision : int;  (** profile revision after the upload *)
 }
 
 let min_live_epoch p = max 0 (p.current - p.window + 1)
@@ -189,6 +200,7 @@ let evict_unlocked t =
       (match stalest with
       | Some (name, _) ->
           Hashtbl.remove t.profiles name;
+          t.evicted <- t.evicted + 1;
           Obs.Metrics.incr evictions
       | None -> ())
   | _ -> ()
@@ -242,6 +254,7 @@ let upload t ~(prog : Ir.Prog.program) (u : Protocol.upload) :
             epochs_live = List.length p.epochs;
             poisoned = p.poisoned;
             flow_violations = p.fresh_violations;
+            revision = p.revision;
           }
       else
         match validate_upload p.prog u with
@@ -300,6 +313,7 @@ let upload t ~(prog : Ir.Prog.program) (u : Protocol.upload) :
                 epochs_live = List.length p.epochs;
                 poisoned = p.poisoned;
                 flow_violations = p.fresh_violations;
+                revision = p.revision;
               })
 
 (* ---- read side ---- *)
@@ -330,6 +344,14 @@ let bench_of t name =
   Option.map (fun p -> p.bench) (Hashtbl.find_opt t.profiles name)
 
 let size t = Mutex.protect t.lock @@ fun () -> Hashtbl.length t.profiles
+
+let evictions_total t = Mutex.protect t.lock @@ fun () -> t.evicted
+
+let poisoned_count t =
+  Mutex.protect t.lock @@ fun () ->
+  Hashtbl.fold
+    (fun _ (p : profile) n -> if p.poisoned then n + 1 else n)
+    t.profiles 0
 
 let stats_json t =
   Mutex.protect t.lock @@ fun () ->

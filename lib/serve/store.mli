@@ -28,6 +28,7 @@ type outcome = {
   epochs_live : int;
   poisoned : bool;
   flow_violations : int;
+  revision : int;  (** profile revision after the upload *)
 }
 
 val upload :
@@ -53,6 +54,13 @@ val view : t -> string -> view
 
 val bench_of : t -> string -> string option
 val size : t -> int
+
+val evictions_total : t -> int
+(** Profiles this store evicted via its LRU cap — a store-local count,
+    deterministic even when the metrics registry is disabled. *)
+
+val poisoned_count : t -> int
+(** Profiles currently poisoned (readers pinned to last-good). *)
 
 val stats_json : t -> Obs.Json.t
 (** Per-profile summary rows, sorted by name. *)

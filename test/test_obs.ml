@@ -171,6 +171,58 @@ let chrome_export_parses_back () =
   | Some (Obs.Json.String n) -> Alcotest.(check string) "sorted by ts" "alpha" n
   | _ -> Alcotest.fail "first event has no name"
 
+(* ---------------- span collect / add_attr / cap ---------------- *)
+
+let span_collect_and_attrs () =
+  with_clean_telemetry @@ fun () ->
+  Obs.Span.set_enabled true;
+  Obs.Span.reset ();
+  (* A span outside the collect window must not leak into it. *)
+  Obs.Span.with_ ~stage:"before" (fun () -> ());
+  let result, spans =
+    Obs.Span.collect (fun () ->
+        Obs.Span.with_ ~stage:"outer" ~attrs:[ ("k", "v") ] (fun () ->
+            Obs.Span.add_attr "tier" "full";
+            Obs.Span.with_ ~stage:"inner" (fun () -> ());
+            17))
+  in
+  Alcotest.(check int) "collect passes the result through" 17 result;
+  Alcotest.(check (list string)) "collected spans, oldest first"
+    [ "inner"; "outer" ]
+    (List.map (fun (e : Obs.Span.event) -> e.name) spans);
+  let outer = List.nth spans 1 in
+  Alcotest.(check (list (pair string string)))
+    "add_attr lands after the with_ attrs"
+    [ ("k", "v"); ("tier", "full") ]
+    outer.attrs;
+  (* add_attr with no open span is a no-op, not a crash. *)
+  Obs.Span.add_attr "orphan" "x";
+  (* Disabled collect still runs the thunk. *)
+  Obs.Span.set_enabled false;
+  let r, evs = Obs.Span.collect (fun () -> 3) in
+  Alcotest.(check int) "disabled collect result" 3 r;
+  Alcotest.(check int) "disabled collect events" 0 (List.length evs)
+
+let span_cap () =
+  with_clean_telemetry @@ fun () ->
+  Fun.protect ~finally:(fun () -> Obs.Span.set_cap None) @@ fun () ->
+  Obs.Span.set_enabled true;
+  Obs.Span.reset ();
+  Obs.Span.set_cap (Some 10);
+  for i = 1 to 100 do
+    Obs.Span.with_ ~stage:(Printf.sprintf "s%03d" i) (fun () -> ())
+  done;
+  let evs = Obs.Span.events () in
+  let n = List.length evs in
+  Alcotest.(check bool)
+    (Printf.sprintf "cap bounds retention (%d spans kept)" n)
+    true
+    (n >= 10 && n <= 20);
+  (* The survivors are the newest spans. *)
+  match List.rev evs with
+  | last :: _ -> Alcotest.(check string) "newest span kept" "s100" last.name
+  | [] -> Alcotest.fail "no spans retained"
+
 (* ---------------- metrics ---------------- *)
 
 let metrics_math () =
@@ -205,6 +257,108 @@ let metrics_math () =
   Obs.Metrics.observe h 1.0;
   Alcotest.(check int) "disabled incr ignored" 0 (Obs.Metrics.value c);
   Alcotest.(check int) "disabled observe ignored" 0 (Obs.Metrics.hist_count h)
+
+(* Quantile estimates land on log-scale bucket upper bounds, so each
+   estimate overshoots its sample by at most one bucket width (2^0.25 ≈
+   19%) and is clamped into [min, max]. *)
+let metrics_quantiles () =
+  with_clean_telemetry @@ fun () ->
+  Obs.Metrics.set_enabled true;
+  let h = Obs.Metrics.histogram "test.obs.quant" in
+  Obs.Metrics.reset ();
+  for i = 1 to 100 do
+    Obs.Metrics.observe h (float i /. 1000.0)
+  done;
+  let check_near name want got =
+    if got < want || got > want *. 1.19 then
+      Alcotest.failf "%s: %g not within one bucket above %g" name got want
+  in
+  check_near "p50" 0.050 (Obs.Metrics.hist_quantile h 0.50);
+  check_near "p90" 0.090 (Obs.Metrics.hist_quantile h 0.90);
+  check_near "p99" 0.099 (Obs.Metrics.hist_quantile h 0.99);
+  Alcotest.(check (float 1e-9)) "p100 is max" 0.1
+    (Obs.Metrics.hist_quantile h 1.0);
+  (* Quantiles are monotone in p. *)
+  let prev = ref 0.0 in
+  List.iter
+    (fun p ->
+      let q = Obs.Metrics.hist_quantile h p in
+      if q < !prev then Alcotest.failf "quantiles not monotone at p=%g" p;
+      prev := q)
+    [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ];
+  (* A single sample answers every quantile with itself. *)
+  let h1 = Obs.Metrics.histogram "test.obs.quant1" in
+  Obs.Metrics.observe h1 42.0;
+  Alcotest.(check (float 1e-9)) "singleton p50" 42.0
+    (Obs.Metrics.hist_quantile h1 0.5)
+
+(* The empty-histogram contract: every statistic is 0., never inf or
+   NaN, in the accessors, the text dump, and the JSON export. *)
+let metrics_empty_histogram () =
+  with_clean_telemetry @@ fun () ->
+  Obs.Metrics.set_enabled true;
+  let h = Obs.Metrics.histogram "test.obs.empty" in
+  Obs.Metrics.reset ();
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check (float 1e-9)) name 0.0 v;
+      Alcotest.(check bool) (name ^ " finite") true (Float.is_finite v))
+    [
+      ("empty min", Obs.Metrics.hist_min h);
+      ("empty max", Obs.Metrics.hist_max h);
+      ("empty mean", Obs.Metrics.hist_mean h);
+      ("empty sum", Obs.Metrics.hist_sum h);
+      ("empty p50", Obs.Metrics.hist_quantile h 0.5);
+      ("empty p99", Obs.Metrics.hist_quantile h 0.99);
+    ];
+  let dump = Obs.Metrics.dump () in
+  Alcotest.(check bool) "dump lists the empty histogram" true
+    (contains ~needle:"test.obs.empty" dump);
+  Alcotest.(check bool) "dump has no inf/nan" false
+    (contains ~needle:"inf" dump || contains ~needle:"nan" dump);
+  (* JSON export: the histogram row is present, all-zero, and the
+     document roundtrips through the in-tree parser. *)
+  let doc = Obs.Metrics.to_json () in
+  (match Obs.Json.member "schema" doc with
+  | Some (Obs.Json.String "impact.metrics/v1") -> ()
+  | _ -> Alcotest.fail "metrics export lacks impact.metrics/v1 schema");
+  let reparsed = Obs.Json.parse_exn (Obs.Json.to_string doc) in
+  let rows =
+    match Obs.Json.member "metrics" reparsed with
+    | Some (Obs.Json.List rows) -> rows
+    | _ -> Alcotest.fail "metrics export lacks a metrics list"
+  in
+  let row =
+    List.find_opt
+      (fun r ->
+        Obs.Json.member "name" r = Some (Obs.Json.String "test.obs.empty"))
+      rows
+  in
+  match row with
+  | None -> Alcotest.fail "empty histogram missing from JSON export"
+  | Some r ->
+      List.iter
+        (fun k ->
+          match Obs.Json.member k r with
+          | Some (Obs.Json.Float 0.0) | Some (Obs.Json.Int 0) -> ()
+          | Some j ->
+              Alcotest.failf "empty histogram %s = %s, want 0" k
+                (Obs.Json.to_string j)
+          | None -> Alcotest.failf "empty histogram row lacks %S" k)
+        [ "n"; "sum"; "min"; "mean"; "max"; "p50"; "p90"; "p99" ]
+
+(* The dump prints the same quantiles the accessors answer. *)
+let metrics_dump_quantiles () =
+  with_clean_telemetry @@ fun () ->
+  Obs.Metrics.set_enabled true;
+  let h = Obs.Metrics.histogram "test.obs.dumpq" in
+  Obs.Metrics.reset ();
+  List.iter (Obs.Metrics.observe h) [ 1.0; 2.0; 3.0; 4.0 ];
+  let expect =
+    Printf.sprintf "p50=%.6f" (Obs.Metrics.hist_quantile h 0.5)
+  in
+  Alcotest.(check bool) "dump carries p50" true
+    (contains ~needle:expect (Obs.Metrics.dump ()))
 
 let metrics_uniqueness () =
   with_clean_telemetry @@ fun () ->
@@ -334,6 +488,13 @@ let suite =
     Alcotest.test_case "chrome export parses back" `Quick
       chrome_export_parses_back;
     Alcotest.test_case "metrics math and reset" `Quick metrics_math;
+    Alcotest.test_case "histogram quantiles" `Quick metrics_quantiles;
+    Alcotest.test_case "empty histogram is all zeros" `Quick
+      metrics_empty_histogram;
+    Alcotest.test_case "dump carries quantiles" `Quick metrics_dump_quantiles;
+    Alcotest.test_case "span collect and add_attr" `Quick
+      span_collect_and_attrs;
+    Alcotest.test_case "span retention cap" `Quick span_cap;
     Alcotest.test_case "metric registry uniqueness" `Quick metrics_uniqueness;
     Alcotest.test_case "log sink and quiet" `Quick log_sink_and_quiet;
     Alcotest.test_case "fallback warning is immediate" `Quick

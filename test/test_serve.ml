@@ -493,6 +493,261 @@ let chaos_campaign () =
   Alcotest.(check bool) "every abuse family exercised" true
     (List.length report.by_category >= 8)
 
+(* ------------------------------------------------------------------ *)
+(* Observability: stats v2, health, subscriptions, soak                *)
+(* ------------------------------------------------------------------ *)
+
+let contains_sub haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let int_field key resp =
+  match Obs.Json.member key resp with
+  | Some (Obs.Json.Int i) -> i
+  | _ -> Alcotest.failf "field %S missing or not an int" key
+
+let run_stream ?config lines =
+  let config = Option.value config ~default:small_config in
+  Obs.Log.set_quiet true;
+  Fun.protect ~finally:(fun () -> Obs.Log.set_quiet false) @@ fun () ->
+  let d = Serve.Daemon.create ~config () in
+  Serve.Daemon.run_lines d lines
+
+let is_notification resp =
+  Obs.Json.member "type" resp = Some (Obs.Json.String "notification")
+
+(* The raw poisoning upload from the golden stream: structurally valid,
+   not flow-conserving, so it is accepted and marks the profile. *)
+let poison_line ~id ~profile ~epoch =
+  request ~id ~typ:"profile-upload"
+    [
+      ("profile", Obs.Json.String profile);
+      ("bench", Obs.Json.String bench);
+      ("epoch", Obs.Json.Int epoch);
+      ( "entries",
+        Obs.Json.List [ Obs.Json.List [ Obs.Json.Int 0; Obs.Json.Int 7 ] ] );
+    ]
+
+let upload_line ~id ~name ~epoch =
+  line_of
+    (Serve.Protocol.upload_request_of_profile ~id:(Obs.Json.Int id) ~name
+       ~bench ~epoch (pipeline_profile ()))
+
+let stats_v2_fields () =
+  let out =
+    run_stream
+      [
+        layout_line ~id:1 [ ("strategy", Obs.Json.String "impact") ];
+        request ~id:2 ~typ:"subscribe" [];
+        request ~id:3 ~typ:"stats" [];
+      ]
+  in
+  let stats = List.nth out 2 in
+  Alcotest.(check int) "stats_version" 2 (int_field "stats_version" stats);
+  (* Metrics are off in tests, so every wall-clock field is exactly
+     zero — the determinism contract for the replay path. *)
+  Alcotest.(check bool) "uptime is zero with metrics off" true
+    (Obs.Json.member "uptime_seconds" stats = Some (Obs.Json.Float 0.0));
+  Alcotest.(check int) "served" 2 (int_field "served" stats);
+  Alcotest.(check int) "subscriptions" 1 (int_field "subscriptions" stats);
+  Alcotest.(check int) "notifications" 0 (int_field "notifications" stats);
+  (match Obs.Json.member "evictions" stats with
+  | Some ev ->
+      List.iter
+        (fun k -> ignore (int_field k ev))
+        [ "profiles"; "maps"; "memo" ]
+  | None -> Alcotest.fail "stats lacks evictions");
+  match Obs.Json.member "latency" stats with
+  | Some lat -> (
+      match Obs.Json.member "all" lat with
+      | Some row ->
+          Alcotest.(check int) "latency.all.count zero with metrics off" 0
+            (int_field "count" row)
+      | None -> Alcotest.fail "latency lacks the all row")
+  | None -> Alcotest.fail "stats lacks latency"
+
+let health_verdicts () =
+  Obs.Log.set_quiet true;
+  Fun.protect ~finally:(fun () -> Obs.Log.set_quiet false) @@ fun () ->
+  let d = Serve.Daemon.create ~config:small_config () in
+  let health id =
+    match Serve.Daemon.run_lines d [ request ~id ~typ:"health" [] ] with
+    | [ resp ] -> resp
+    | _ -> Alcotest.fail "health did not answer exactly once"
+  in
+  let h1 = health 1 in
+  Alcotest.(check string) "fresh daemon is ready" "ready"
+    (str_field "verdict" h1);
+  Alcotest.(check bool) "ready flag" true
+    (Obs.Json.member "ready" h1 = Some (Obs.Json.Bool true));
+  ignore
+    (Serve.Daemon.run_lines d
+       [ upload_line ~id:2 ~name:"sick" ~epoch:1;
+         poison_line ~id:3 ~profile:"sick" ~epoch:2 ]);
+  let h2 = health 4 in
+  Alcotest.(check string) "poisoned profile degrades" "degraded"
+    (str_field "verdict" h2);
+  (match Obs.Json.member "checks" h2 with
+  | Some checks ->
+      Alcotest.(check int) "poisoned count surfaced" 1
+        (int_field "poisoned_profiles" checks)
+  | None -> Alcotest.fail "health lacks checks");
+  Alcotest.(check bool) "not ready when degraded" true
+    (Obs.Json.member "ready" h2 = Some (Obs.Json.Bool false))
+
+(* The exactly-once contract: one notification per (cached layout,
+   epoch).  A same-epoch merge bumps the revision but must not
+   re-notify; a below-window (stale-epoch) upload must not notify; the
+   next epoch notifies again for a map that is still stale. *)
+let subscribe_exactly_once () =
+  let out =
+    run_stream
+      [
+        upload_line ~id:1 ~name:"live" ~epoch:5;
+        layout_line ~id:2
+          [
+            ("strategy", Obs.Json.String "exttsp");
+            ("profile", Obs.Json.String "live");
+          ];
+        request ~id:3 ~typ:"subscribe"
+          [ ("profiles", Obs.Json.List [ Obs.Json.String "live" ]) ];
+        upload_line ~id:4 ~name:"live" ~epoch:6;
+        upload_line ~id:5 ~name:"live" ~epoch:6;
+        request ~id:6 ~typ:"stats" [];
+        upload_line ~id:7 ~name:"live" ~epoch:1;
+        upload_line ~id:8 ~name:"live" ~epoch:7;
+      ]
+  in
+  let notes, resps = List.partition is_notification out in
+  Alcotest.(check int) "one response per request" 8 (List.length resps);
+  Alcotest.(check int) "epochs 6 and 7 notify exactly once each" 2
+    (List.length notes);
+  let epochs = List.map (int_field "epoch") notes in
+  Alcotest.(check (list int)) "notification epochs in order" [ 6; 7 ] epochs;
+  List.iter
+    (fun n ->
+      Alcotest.(check string) "notification event" "layouts-stale"
+        (str_field "event" n);
+      Alcotest.(check string) "notification profile" "live"
+        (str_field "profile" n);
+      match Obs.Json.member "stale" n with
+      | Some (Obs.Json.List (_ :: _)) -> ()
+      | _ -> Alcotest.fail "notification has no stale layouts")
+    notes;
+  (* The repeated epoch-2 upload was rejected as stale, not notified. *)
+  let rejected =
+    List.filter
+      (fun r ->
+        Obs.Json.member "accepted" r = Some (Obs.Json.Bool false))
+      resps
+  in
+  Alcotest.(check int) "stale-epoch upload rejected" 1 (List.length rejected)
+
+(* An unsubscribed stream and a mismatched filter never notify. *)
+let subscribe_filters () =
+  let base subscribe =
+    (if subscribe then
+       [ request ~id:9 ~typ:"subscribe"
+           [ ("profiles", Obs.Json.List [ Obs.Json.String "other" ]) ] ]
+     else [])
+    @ [
+        upload_line ~id:1 ~name:"live" ~epoch:1;
+        layout_line ~id:2
+          [
+            ("strategy", Obs.Json.String "exttsp");
+            ("profile", Obs.Json.String "live");
+          ];
+        upload_line ~id:3 ~name:"live" ~epoch:2;
+      ]
+  in
+  List.iter
+    (fun subscribe ->
+      let notes = List.filter is_notification (run_stream (base subscribe)) in
+      Alcotest.(check int)
+        (if subscribe then "filtered subscription silent"
+         else "no subscribers, no notifications")
+        0 (List.length notes))
+    [ false; true ]
+
+(* Concurrent subscribe/upload/layout interleavings: the batched loop
+   with a 2-domain pool must emit byte-identical output — responses
+   and notifications in the same positions. *)
+let notifications_deterministic () =
+  Obs.Log.set_quiet true;
+  Fun.protect ~finally:(fun () -> Obs.Log.set_quiet false) @@ fun () ->
+  let lines =
+    [
+      upload_line ~id:1 ~name:"live" ~epoch:1;
+      layout_line ~id:2
+        [
+          ("strategy", Obs.Json.String "exttsp");
+          ("profile", Obs.Json.String "live");
+        ];
+      request ~id:3 ~typ:"subscribe" [];
+      layout_line ~id:4 [ ("strategy", Obs.Json.String "impact") ];
+      layout_line ~id:5 [ ("strategy", Obs.Json.String "natural") ];
+      upload_line ~id:6 ~name:"live" ~epoch:2;
+      layout_line ~id:7
+        [
+          ("strategy", Obs.Json.String "exttsp");
+          ("profile", Obs.Json.String "live");
+        ];
+      request ~id:8 ~typ:"health" [];
+      upload_line ~id:9 ~name:"live" ~epoch:3;
+      request ~id:10 ~typ:"stats" [];
+    ]
+  in
+  let run () =
+    let d = Serve.Daemon.create ~config:small_config () in
+    List.map line_of (Serve.Daemon.run_lines d lines)
+  in
+  let serial = run () in
+  Alcotest.(check bool) "stream produced notifications" true
+    (List.exists (fun l -> contains_sub l "layouts-stale") serial);
+  let saved = Placement.Pool.default () in
+  let pool = Placement.Pool.create 2 in
+  Placement.Pool.set_default (Some pool);
+  let parallel =
+    Fun.protect
+      ~finally:(fun () ->
+        Placement.Pool.set_default saved;
+        Placement.Pool.shutdown pool)
+      run
+  in
+  Alcotest.(check (list string))
+    "responses and notifications byte-identical under -j 2" serial parallel
+
+let mini_soak () =
+  Obs.Log.set_quiet true;
+  Fun.protect ~finally:(fun () -> Obs.Log.set_quiet false) @@ fun () ->
+  let config =
+    {
+      (Serve.Soak.default_config ()) with
+      Serve.Soak.duration_s = 1.0;
+      interval_s = 0.2;
+      round_requests = 8;
+    }
+  in
+  let report = Serve.Soak.run ~config () in
+  Alcotest.(check (list string)) "no soak violations" []
+    report.Serve.Soak.violations;
+  Alcotest.(check int) "one response per request" report.requests
+    report.responses;
+  Alcotest.(check bool) "staleness notifications flowed" true
+    (report.notifications >= 1);
+  Alcotest.(check bool) "memory was sampled" true (report.memory_samples >= 2);
+  Alcotest.(check bool) "latency quantiles are live" true
+    (Obs.Metrics.hist_quantile report.latency_all 0.5 > 0.0);
+  (* The report document passes its own schema contract. *)
+  let doc = Serve.Soak.report_json report in
+  match Obs.Json.parse (Obs.Json.to_string doc) with
+  | Ok reparsed ->
+      Alcotest.(check bool) "soak report roundtrips" true
+        (Obs.Json.member "schema" reparsed
+        = Some (Obs.Json.String "impact.soak/v1"))
+  | Error e -> Alcotest.failf "soak report does not reparse: %s" e
+
 let suite =
   [
     Alcotest.test_case "protocol roundtrip" `Quick protocol_roundtrip;
@@ -513,5 +768,13 @@ let suite =
     Alcotest.test_case "strategy map cap" `Quick strategy_map_cap;
     Alcotest.test_case "golden vector replay" `Quick golden_replay;
     Alcotest.test_case "batching deterministic" `Quick batching_deterministic;
+    Alcotest.test_case "stats v2 fields" `Quick stats_v2_fields;
+    Alcotest.test_case "health verdicts" `Quick health_verdicts;
+    Alcotest.test_case "subscribe notifies exactly once" `Quick
+      subscribe_exactly_once;
+    Alcotest.test_case "subscription filters" `Quick subscribe_filters;
+    Alcotest.test_case "notifications deterministic" `Quick
+      notifications_deterministic;
+    Alcotest.test_case "mini soak" `Slow mini_soak;
     Alcotest.test_case "chaos campaign" `Slow chaos_campaign;
   ]
