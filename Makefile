@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make ci` on every PR.
 
-.PHONY: all build test bench bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke par-smoke stream-smoke serve-smoke trace-smoke soak-smoke ci clean
+.PHONY: all build test bench bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke absint-smoke par-smoke stream-smoke serve-smoke trace-smoke soak-smoke ci clean
 
 all: build
 
@@ -58,6 +58,19 @@ lint-smoke:
 	  --metrics-out=_obs/lint-metrics.txt > _obs/lint.json
 	test -s _obs/lint-metrics.txt
 	dune exec bin/checkjson.exe -- _obs/lint.json
+
+# Abstract-interpretation cache bounds end to end: certify two
+# benchmarks across every registered strategy (no simulation), re-parse
+# the impact.absint/v1 report, then fuzz 200 seeded programs with the
+# differential soundness oracle live (always-hit accesses never miss,
+# first-miss lines miss at most once per loop entry, simulated misses
+# inside every certified interval).
+absint-smoke:
+	rm -rf _obs && mkdir -p _obs
+	dune exec bin/main.exe -- absint -b cmp,yacc --strategy all \
+	  --format json > _obs/absint.json
+	dune exec bin/checkjson.exe -- _obs/absint.json
+	dune exec bin/fuzz.exe -- --seed 1 --count 200
 
 # Parallel bit-identity: the same table and the same quiet fuzz
 # campaign at -j 1 and -j 2 must produce byte-identical output (rows,
@@ -138,7 +151,7 @@ soak-smoke:
 	  --soak-out _soak/soak.json -q
 	dune exec bin/checkjson.exe -- _soak/soak.json
 
-ci: build test bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke par-smoke stream-smoke serve-smoke trace-smoke soak-smoke
+ci: build test bench-smoke strategy-smoke fuzz-smoke validate-smoke obs-smoke lint-smoke absint-smoke par-smoke stream-smoke serve-smoke trace-smoke soak-smoke
 
 clean:
 	dune clean

@@ -14,6 +14,7 @@ let known_schemas =
     "impact.table-run/v1";
     "impact.bench/v1";
     "impact.lint/v1";
+    "impact.absint/v1";
     "impact.serve/v1";
     "impact.serve-chaos/v1";
     "impact.soak/v1";
@@ -28,12 +29,24 @@ let required_fields =
     ( "impact.soak/v1",
       [ "seed"; "requests"; "responses"; "latency"; "memory"; "violations" ] );
     ("impact.metrics/v1", [ "metrics" ]);
+    ("impact.absint/v1", [ "results" ]);
   ]
 
 type verdict = { mutable parse_failed : bool; mutable bad_schema : bool }
 
+(* Per-element required fields inside a top-level list — the absint
+   report is only useful if every result row carries its certified
+   interval and classification counts. *)
+let element_fields =
+  [
+    ( "impact.absint/v1",
+      ( "results",
+        [ "bench"; "strategy"; "config"; "certified"; "classes"; "gated" ] )
+    );
+  ]
+
 let check_fields v ~where schema json =
-  match List.assoc_opt schema required_fields with
+  (match List.assoc_opt schema required_fields with
   | None -> ()
   | Some fields ->
       List.iter
@@ -43,7 +56,25 @@ let check_fields v ~where schema json =
               schema f;
             v.parse_failed <- true
           end)
-        fields
+        fields);
+  match List.assoc_opt schema element_fields with
+  | None -> ()
+  | Some (list_field, fields) -> (
+      match Obs.Json.member list_field json with
+      | Some (Obs.Json.List elems) ->
+          List.iteri
+            (fun i elem ->
+              List.iter
+                (fun f ->
+                  if Obs.Json.member f elem = None then begin
+                    Printf.eprintf
+                      "checkjson: %s: %s element %d of %S missing %S\n" where
+                      schema i list_field f;
+                    v.parse_failed <- true
+                  end)
+                fields)
+            elems
+      | _ -> ())
 
 let check_schema v ~where json =
   match json with

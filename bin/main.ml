@@ -613,6 +613,89 @@ let lint_cmd =
       const run $ bench_names_arg $ strategy_arg $ format_arg $ fail_on_arg
       $ max_findings_arg $ min_prob_arg $ obs_term $ jobs_term)
 
+(* impact absint [-b BENCH] [--strategy S|all] [--size --block --assoc]
+   [--max-iters N] [--format text|json] — abstract interpretation of
+   cache states: per-block always-hit / always-miss / first-miss
+   classification and a certified miss-count interval under the profile
+   weights.  Like lint, this path never records a trace and never
+   simulates. *)
+let absint_cmd =
+  let strategy_arg =
+    let doc =
+      Printf.sprintf
+        "Layout strategy to analyze: %s, or $(b,all) (default) for every \
+         registered strategy."
+        (String.concat " | " (Placement.Strategy.ids ()))
+    in
+    Arg.(value & opt string "all" & info [ "strategy" ] ~docv:"S" ~doc)
+  in
+  let size_arg =
+    Arg.(value & opt int 2048 & info [ "size" ] ~doc:"Cache size in bytes.")
+  in
+  let block_arg =
+    Arg.(value & opt int 64 & info [ "block" ] ~doc:"Block size in bytes.")
+  in
+  let assoc_arg =
+    let doc = "Associativity: direct, N (ways), or full." in
+    Arg.(value & opt string "direct" & info [ "assoc" ] ~doc)
+  in
+  let max_iters_arg =
+    let doc =
+      "Cap the fixpoint solver at $(docv) worklist pops per domain \
+       (0 = the size-derived default); a capped run degrades to an \
+       unclassified — still sound — result with a warning."
+    in
+    Arg.(value & opt int 0 & info [ "max-iters" ] ~docv:"N" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: $(b,text) (default) or $(b,json)." in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let run names strategy size block assoc max_iters format obs jobs =
+    with_telemetry obs @@ fun () ->
+    with_parallel jobs @@ fun () ->
+    let assoc =
+      match assoc with
+      | "direct" -> Icache.Config.Direct
+      | "full" -> Icache.Config.Full
+      | n -> Icache.Config.Ways (int_of_string n)
+    in
+    let config = Icache.Config.make ~assoc ~size ~block () in
+    let max_iters = if max_iters > 0 then Some max_iters else None in
+    let strategies =
+      if strategy = "all" then None
+      else Some [ Placement.Strategy.find strategy ]
+    in
+    let ctx = context_of names in
+    let results =
+      Experiments.Absint_exp.sweep ?max_iters ~config ?strategies ctx
+    in
+    (match format with
+    | `Json ->
+      print_endline
+        (Obs.Json.to_string (Experiments.Absint_exp.report_json ~results))
+    | `Text ->
+      List.iter
+        (fun r -> print_endline (Experiments.Absint_exp.summary r))
+        results);
+    Option.iter
+      (fun p ->
+        Obs.Json.to_file p (Experiments.Absint_exp.report_json ~results))
+      obs.json_out
+  in
+  Cmd.v
+    (Cmd.info "absint"
+       ~doc:
+         "Certified cache-miss bounds by abstract interpretation (no \
+          simulation): must/may/persistence domains over the CFG and \
+          address map")
+    Term.(
+      const run $ bench_names_arg $ strategy_arg $ size_arg $ block_arg
+      $ assoc_arg $ max_iters_arg $ format_arg $ obs_term $ jobs_term)
+
 let main_cmd =
   let doc =
     "IMPACT-I instruction placement reproduction (Hwu & Chang, ISCA 1989)"
@@ -620,7 +703,7 @@ let main_cmd =
   Cmd.group (Cmd.info "impact" ~doc)
     [
       list_cmd; table_cmd; all_cmd; run_cmd; pipeline_cmd; simulate_cmd;
-      estimate_cmd; lint_cmd;
+      estimate_cmd; lint_cmd; absint_cmd;
     ]
 
 (* Deterministic exit codes: cmdliner owns usage errors (2); structured

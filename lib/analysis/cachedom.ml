@@ -1,0 +1,125 @@
+(* Bounded age-vector lattice for abstract I-cache states.
+
+   A state maps every cache line the program can touch (its "line
+   universe": dense ids over the distinct line numbers covered by the
+   address map) to an abstract LRU age in 0..ways, stored as one byte
+   per line.  Age [ways] is the top element "possibly/definitely absent"
+   depending on the domain reading it:
+
+   - Must states keep an UPPER bound on the true age, so
+     [age < ways] proves residence (guaranteed hit).  Join is the
+     pointwise MAX (keep the weakest upper bound).
+   - May states keep a LOWER bound, so [age = ways] proves absence
+     (guaranteed miss).  Join is the pointwise MIN.
+
+   The transfer on an access to line l only renumbers lines of l's
+   cache set, mirroring LRU: l's age drops to 0 and set-mates below
+   the evicted bound age one step (strictly-younger mates for Must,
+   younger-or-equal for May — the classic Ferdinand/Wilhelm update).
+
+   One byte per age caps usable associativity at 254 ways; {!Absint}
+   gates larger configurations to "unclassified" rather than lie. *)
+
+let max_ways = 254
+
+type universe = {
+  ways : int;  (* also the top age *)
+  nlines : int;
+  line_no : int array;  (* dense id -> absolute line number *)
+  set_of : int array;  (* dense id -> cache set index *)
+  mates : int array array;  (* dense id -> OTHER dense ids in its set *)
+  nsets : int;
+}
+
+type state = Bytes.t
+
+let universe (config : Icache.Config.t) (lines : int list) : universe =
+  let ways = Icache.Config.ways_of config in
+  if ways > max_ways then
+    invalid_arg
+      (Printf.sprintf "Cachedom.universe: %d ways exceeds the %d-way cap" ways
+         max_ways);
+  let nsets = Icache.Config.nsets config in
+  let sorted = List.sort_uniq compare lines in
+  let line_no = Array.of_list sorted in
+  let nlines = Array.length line_no in
+  let set_of = Array.map (fun l -> l mod nsets) line_no in
+  let by_set = Array.make nsets [] in
+  Array.iteri (fun id s -> by_set.(s) <- id :: by_set.(s)) set_of;
+  let mates =
+    Array.init nlines (fun id ->
+        List.filter (fun m -> m <> id) by_set.(set_of.(id))
+        |> List.rev |> Array.of_list)
+  in
+  { ways; nlines; line_no; set_of; mates; nsets }
+
+let id_table (u : universe) : (int, int) Hashtbl.t =
+  let tbl = Hashtbl.create (2 * u.nlines) in
+  Array.iteri (fun id l -> Hashtbl.replace tbl l id) u.line_no;
+  tbl
+
+(* All-absent: every age at top.  Both the boundary value (the simulator
+   starts each run with an empty cache) and the interior init (for Must
+   it claims nothing, for May interior values are overwritten by the
+   first meet on every reachable node). *)
+let top (u : universe) : state = Bytes.make u.nlines (Char.chr u.ways)
+let copy (st : state) : state = Bytes.copy st
+let assign ~(dst : state) (src : state) : unit =
+  Bytes.blit src 0 dst 0 (Bytes.length src)
+
+let equal = Bytes.equal
+let age (st : state) (id : int) : int = Char.code (Bytes.unsafe_get st id)
+let set_age (st : state) (id : int) (a : int) : unit =
+  Bytes.unsafe_set st id (Char.unsafe_chr a)
+
+(* dst := pointwise max (weakest upper bound wins) *)
+let must_join_into ~(dst : state) (src : state) : unit =
+  for i = 0 to Bytes.length dst - 1 do
+    let a = age src i in
+    if a > age dst i then set_age dst i a
+  done
+
+(* dst := pointwise min (weakest lower bound wins) *)
+let may_join_into ~(dst : state) (src : state) : unit =
+  for i = 0 to Bytes.length dst - 1 do
+    let a = age src i in
+    if a < age dst i then set_age dst i a
+  done
+
+(* In-place access transfers.  Reading the accessed line's OLD age
+   first makes the in-place mate updates safe: each mate moves
+   independently, compared against that saved bound. *)
+
+let access_must (u : universe) (st : state) (id : int) : unit =
+  let bound = age st id in
+  Array.iter
+    (fun m ->
+      let a = age st m in
+      if a < bound then set_age st m (min (a + 1) u.ways))
+    u.mates.(id);
+  set_age st id 0
+
+let access_may (u : universe) (st : state) (id : int) : unit =
+  let bound = age st id in
+  Array.iter
+    (fun m ->
+      let a = age st m in
+      if a <= bound then set_age st m (min (a + 1) u.ways))
+    u.mates.(id);
+  set_age st id 0
+
+let must_lattice (u : universe) : state Dataflow.lattice =
+  {
+    Dataflow.make = (fun () -> top u);
+    assign;
+    join_into = must_join_into;
+    equal;
+  }
+
+let may_lattice (u : universe) : state Dataflow.lattice =
+  {
+    Dataflow.make = (fun () -> top u);
+    assign;
+    join_into = may_join_into;
+    equal;
+  }

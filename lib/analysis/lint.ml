@@ -65,10 +65,13 @@ type report = {
   conflict_score : float;
   hot_arc_total : int;
   hot_arc_broken : int;
+  certified : Absint.interval;
+  absint_totals : Absint.totals;
+  absint_gated : string option;
 }
 
 let pass_names =
-  [ "flow"; "unreachable"; "hot-arc"; "loop-split"; "set-conflict" ]
+  [ "flow"; "unreachable"; "hot-arc"; "loop-split"; "set-conflict"; "absint" ]
 
 (* Telemetry: per-pass finding counters plus the grand total. *)
 let findings_total =
@@ -93,6 +96,10 @@ let loop_straddles =
 let conflict_pairs =
   Obs.Metrics.counter "lint.conflict_pairs"
     ~help:"call-graph-adjacent function pairs with overlapping hot sets"
+
+let guaranteed_miss_blocks =
+  Obs.Metrics.counter "lint.guaranteed_miss_blocks"
+    ~help:"weighted blocks with at least one certified always-miss line"
 
 let span pass f = Obs.Span.with_ ~stage:("lint." ^ pass) f
 
@@ -389,6 +396,62 @@ let conflict_pass t =
   (List.rev !acc, !score)
 
 (* ------------------------------------------------------------------ *)
+(* Pass: sound static cache-state classification                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike set-conflict's heuristic score this pass makes guarantees:
+   the abstract interpretation's always-miss lines WILL conflict on
+   every run, and the certified interval [lo, hi] bounds the misses of
+   any execution matching the profile counts.  Still simulation-free:
+   {!Absint} is a pair of dataflow solves. *)
+
+let absint_pass t =
+  let a = Absint.analyze t.config t.map t.program in
+  let counts fid l = (t.weights fid).Placement.Weight.block l in
+  let certified =
+    Absint.interval a ~counts
+      ~entries:(Absint.profile_entries a ~weights:t.weights)
+  in
+  let acc = ref [] in
+  (* Degradations (gated configs, irreducible functions, capped solves)
+     surface as zero-score findings so the report says WHY bounds are
+     loose. *)
+  List.iter
+    (fun (d : Diag.t) ->
+      acc :=
+        {
+          pass = "absint";
+          score = 0.;
+          diag = { d with Diag.strategy = t.strategy };
+        }
+        :: !acc)
+    a.Absint.warnings;
+  for v = 0 to a.Absint.nnodes - 1 do
+    let fid = a.Absint.node_fid.(v) and l = a.Absint.node_label.(v) in
+    let w = counts fid l in
+    if w > 0 then begin
+      let nmiss =
+        Array.fold_left
+          (fun n k -> match k with Absint.Miss -> n + 1 | _ -> n)
+          0
+          a.Absint.cls.(v)
+      in
+      if nmiss > 0 then begin
+        Obs.Metrics.incr guaranteed_miss_blocks;
+        acc :=
+          mk t ~pass:"absint"
+            ~score:(float_of_int (w * nmiss))
+            ~func:(fname t fid) ~block:l
+            "certified conflict: %d of %d line fetches always miss \
+             (weight %d)"
+            nmiss a.Absint.naccesses.(v) w
+          :: !acc
+      end
+    end
+  done;
+  (List.rev !acc, certified, Absint.totals a, a.Absint.gated)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -402,7 +465,10 @@ let run (t : input) : report =
   let conflicts, conflict_score =
     span "set-conflict" (fun () -> conflict_pass t)
   in
-  let all = flow @ unreachable @ hot_arcs @ loops @ conflicts in
+  let absints, certified, absint_totals, absint_gated =
+    span "absint" (fun () -> absint_pass t)
+  in
+  let all = flow @ unreachable @ hot_arcs @ loops @ conflicts @ absints in
   Obs.Metrics.incr ~by:(List.length all) findings_total;
   (* Errors lead; inside a severity class the biggest scores first, and
      ties keep pass order for determinism. *)
@@ -427,6 +493,9 @@ let run (t : input) : report =
     conflict_score;
     hot_arc_total;
     hot_arc_broken;
+    certified;
+    absint_totals;
+    absint_gated;
   }
 
 let errors r =

@@ -18,7 +18,11 @@
     - [set-conflict] — static cache-set conflict estimation: call-graph
       adjacent functions whose hot lines co-map to the same sets, the
       paper's "mapping conflict" made static; warnings, plus the
-      aggregate {!report.conflict_score} used to rank strategies. *)
+      aggregate {!report.conflict_score} used to rank strategies.
+    - [absint] — sound cache-state classification ({!Absint}): weighted
+      blocks with certified always-miss lines, analysis degradations,
+      and the certified miss-count interval {!report.certified} that
+      ranks strategies next to the heuristic conflict score. *)
 
 open Ir
 
@@ -78,6 +82,11 @@ type report = {
           stand-in for the simulated conflict-miss ratio *)
   hot_arc_total : int;  (** total weight of hot arcs *)
   hot_arc_broken : int;  (** weight of hot arcs not placed fall-through *)
+  certified : Absint.interval;
+      (** sound miss-count interval under the profile weights, with
+          per-scope entry caps from {!Absint.profile_entries} *)
+  absint_totals : Absint.totals;
+  absint_gated : string option;  (** why everything is unclassified *)
 }
 
 val pass_names : string list
@@ -91,3 +100,6 @@ val warnings : report -> Diag.t list
 
 val findings_total : Obs.Metrics.counter
 (** Telemetry: findings across all passes and runs. *)
+
+val guaranteed_miss_blocks : Obs.Metrics.counter
+(** Weighted blocks with at least one certified always-miss line. *)

@@ -1,0 +1,101 @@
+(** E19 and the [impact absint] backend: sound static cache bounds
+    ({!Analysis.Absint}) next to the paper-§5 heuristic estimate and
+    the simulated truth, plus the differential soundness oracle the
+    fuzzer replays on every generated program. *)
+
+open Analysis
+
+val default_configs : Icache.Config.t list
+(** The three E19 design points: 2KB/64B direct (E17's geometry),
+    8KB/64B direct, 4KB/64B 2-way — all whole-block fill, the shapes
+    the analysis can certify. *)
+
+val default_config : Icache.Config.t
+(** First of {!default_configs}; the [impact absint] default. *)
+
+val interval_json : Absint.interval -> Obs.Json.t
+val totals_json : Absint.totals -> Obs.Json.t
+
+(** {2 impact absint (simulation-free, profile-weighted)} *)
+
+type result = {
+  bench : string;
+  strategy : Placement.Strategy.t;
+  fell_back : bool;
+  config : Icache.Config.t;
+  totals : Absint.totals;
+  certified : Absint.interval;  (** under the profile weights *)
+  gated : string option;
+  consistent : bool;
+  scopes : int;
+  must_iterations : int;
+  may_iterations : int;
+}
+
+val analyze_entry :
+  ?max_iters:int ->
+  config:Icache.Config.t ->
+  Context.entry ->
+  Placement.Strategy.t ->
+  result
+
+val sweep :
+  ?max_iters:int ->
+  ?config:Icache.Config.t ->
+  ?strategies:Placement.Strategy.t list ->
+  Context.t ->
+  result list
+(** Every (entry, strategy) at one config, pool-parallel over entries;
+    results in entry-major registry order. *)
+
+val strategy_cell : result -> string
+val summary : result -> string
+val result_json : result -> Obs.Json.t
+
+val report_json : results:result list -> Obs.Json.t
+(** Top-level [impact.absint/v1] document. *)
+
+(** {2 E19 table} *)
+
+type row = {
+  r_bench : string;
+  r_strategy : string;
+  r_config : string;
+  r_est : float;
+  r_lo : float;
+  r_hi : float;
+  r_sim : float;
+  r_within : bool;
+  r_classified : string;
+}
+
+val compute :
+  ?configs:Icache.Config.t list ->
+  ?strategies:Placement.Strategy.t list ->
+  Context.t ->
+  row list
+(** Certified intervals are evaluated with block counts and loop-entry
+    counts taken from the SAME trace the simulator replays, so
+    [r_within] failing would be a soundness bug, not noise. *)
+
+val table : Context.t -> Report.Table.t
+
+(** {2 Differential soundness oracle} *)
+
+val oracle_configs : Icache.Config.t list
+(** Small geometries (512B/16B direct and 2-way) that force conflicts
+    on fuzz-sized programs. *)
+
+val check_oracle :
+  ?configs:Icache.Config.t list ->
+  strategy:string ->
+  Ir.Prog.program ->
+  Placement.Address_map.t ->
+  Sim.Trace.t ->
+  Ir.Diag.t list
+(** Replays the trace against a fresh cache per config and checks every
+    claim: always-hit accesses never miss, always-miss accesses never
+    hit, first-miss (scope, line) pairs miss at most once per tracked
+    scope entry, the simulated miss total lands inside the certified
+    interval, and the Must/May domains never contradict.  Violations
+    come back as [Simulation]-stage error diags. *)

@@ -17,7 +17,14 @@
      instructions;
    - the three simulation engines agree bit-for-bit: the word-granular
      buffered reference, the run-length-compressed replay (per map) and
-     the fused VM->cache stream (once per seed, natural map).
+     the fused VM->cache stream (once per seed, natural map);
+
+   - the abstract-interpretation cache bounds ([Analysis.Absint]) are
+     sound against the simulated truth on small conflict-heavy
+     geometries: no always-hit access ever misses, no always-miss
+     access ever hits, a first-miss line misses at most once per
+     tracked loop entry, and the simulated miss total lands inside the
+     certified interval ([Absint_exp.check_oracle]).
 
    On failure the case is shrunk greedily ([Ir.Gen.shrink]) while the
    first violation stays in the same stage — so the reproducer exhibits
@@ -277,14 +284,29 @@ let check_program ?(strategies = Placement.Strategy.all)
                                   { d with Ir.Diag.strategy = Some id })
                                 ds
                             | Ok [ rc ] ->
-                              if rc = r then []
-                              else
+                              if rc <> r then
                                 [
                                   Ir.Diag.make ~stage:Ir.Diag.Simulation
                                     ~strategy:id
                                     "compressed-trace replay diverged \
                                      from the reference under this map";
                                 ]
+                              else (
+                                (* Soundness oracle: replay the trace
+                                   against the abstract-interpretation
+                                   claims on conflict-forcing
+                                   geometries. *)
+                                match
+                                  catching Ir.Diag.Simulation (fun () ->
+                                      Absint_exp.check_oracle ~strategy:id
+                                        p.Placement.Pipeline.program m raw)
+                                with
+                                | Error ds ->
+                                  List.map
+                                    (fun d ->
+                                      { d with Ir.Diag.strategy = Some id })
+                                    ds
+                                | Ok ds -> ds)
                             | Ok rs ->
                               [
                                 Ir.Diag.make ~stage:Ir.Diag.Simulation

@@ -11,6 +11,11 @@ type result = {
   strategy : Placement.Strategy.t;
   fell_back : bool;
   report : Analysis.Lint.report;
+  estimate : Sim.Estimate.result;
+      (** the paper-§5 heuristic for the same map, so one artifact holds
+          all three predictors: heuristic estimate, certified bound, and
+          (in E19) the simulated truth.  Profile arithmetic only — the
+          no-simulation invariant of the lint path still holds. *)
 }
 
 (* Same geometry as the strategy-comparison experiment (E17), so the
@@ -27,11 +32,18 @@ let lint_entry ?(config = default_config) ?min_prob ?page_bytes e
     Analysis.Lint.of_pipeline ?min_prob ?page_bytes ~strategy:id p ~map
       ~config
   in
+  let profile = p.Placement.Pipeline.profile in
+  let estimate =
+    Sim.Estimate.estimate config map
+      ~block_weight:(Vm.Profile.block_weight profile)
+      ~func_entries:(Vm.Profile.func_weight profile)
+  in
   {
     bench = Context.name e;
     strategy = s;
     fell_back = Context.fell_back e id;
     report = Analysis.Lint.run input;
+    estimate;
   }
 
 (* The per-strategy lints are independent (each takes the entry lock
@@ -44,17 +56,26 @@ let sweep ?config ?min_prob ?page_bytes e =
     Placement.Pool.map pool lint Placement.Strategy.all
   | _ -> List.map lint Placement.Strategy.all
 
-(* Best first: fewer static conflicts, then fewer broken hot arcs. *)
+(* Best first: smallest certified miss upper bound (the guarantee),
+   then the heuristic tie-breakers — fewer static conflicts, fewer
+   broken hot arcs.  A gated analysis certifies nothing, so its bound
+   (every access a potential miss) naturally ranks last. *)
 let rank results =
   List.stable_sort
     (fun a b ->
       match
-        compare a.report.Analysis.Lint.conflict_score
-          b.report.Analysis.Lint.conflict_score
+        compare a.report.Analysis.Lint.certified.Analysis.Absint.hi
+          b.report.Analysis.Lint.certified.Analysis.Absint.hi
       with
-      | 0 ->
-        compare a.report.Analysis.Lint.hot_arc_broken
-          b.report.Analysis.Lint.hot_arc_broken
+      | 0 -> (
+        match
+          compare a.report.Analysis.Lint.conflict_score
+            b.report.Analysis.Lint.conflict_score
+        with
+        | 0 ->
+          compare a.report.Analysis.Lint.hot_arc_broken
+            b.report.Analysis.Lint.hot_arc_broken
+        | c -> c)
       | c -> c)
     results
 
@@ -72,9 +93,13 @@ let ranking_table bench results =
   let rows =
     List.mapi
       (fun i r ->
+        let c = r.report.Analysis.Lint.certified in
         [
           string_of_int (i + 1);
           strategy_cell r;
+          Printf.sprintf "[%d, %d]" c.Analysis.Absint.lo
+            c.Analysis.Absint.hi;
+          string_of_int r.estimate.Sim.Estimate.est_misses;
           Printf.sprintf "%.3f" r.report.Analysis.Lint.conflict_score;
           Report.Fmtutil.pct (broken_pct r.report);
           string_of_int
@@ -87,14 +112,15 @@ let ranking_table bench results =
   Report.Table.make
     ~title:
       (Printf.sprintf
-         "Static lint ranking for %s at %s: lower conflict score and \
-          fewer broken hot arcs predict a better layout (no simulation)"
+         "Static lint ranking for %s at %s: smallest certified miss \
+          bound first, heuristic conflict score as tie-break (no \
+          simulation)"
          bench
          (Icache.Config.describe default_config))
     ~header:
-      [ "rank"; "strategy"; "conflict"; "hot arcs broken"; "errors";
-        "warnings" ]
-    ~align:Report.Table.[ R; L; R; R; R; R ]
+      [ "rank"; "strategy"; "certified misses"; "est misses"; "conflict";
+        "hot arcs broken"; "errors"; "warnings" ]
+    ~align:Report.Table.[ R; L; R; R; R; R; R; R ]
     rows
 
 let summary r =
@@ -106,12 +132,14 @@ let summary r =
          rep.Analysis.Lint.by_pass)
   in
   Printf.sprintf
-    "%s/%s: %d finding(s) [%s]  conflict score %.3f  hot arcs broken \
-     %d/%d (%s)"
+    "%s/%s: %d finding(s) [%s]  certified misses [%d, %d]  conflict \
+     score %.3f  hot arcs broken %d/%d (%s)"
     r.bench (strategy_cell r)
     (List.length rep.Analysis.Lint.findings)
-    by_pass rep.Analysis.Lint.conflict_score
-    rep.Analysis.Lint.hot_arc_broken rep.Analysis.Lint.hot_arc_total
+    by_pass rep.Analysis.Lint.certified.Analysis.Absint.lo
+    rep.Analysis.Lint.certified.Analysis.Absint.hi
+    rep.Analysis.Lint.conflict_score rep.Analysis.Lint.hot_arc_broken
+    rep.Analysis.Lint.hot_arc_total
     (Report.Fmtutil.pct (broken_pct rep))
 
 (* ------------------------------------------------------------------ *)
@@ -153,6 +181,28 @@ let result_json r =
           (List.map
              (fun (p, n) -> (p, Obs.Json.Int n))
              rep.Analysis.Lint.by_pass) );
+      ("certified", Absint_exp.interval_json rep.Analysis.Lint.certified);
+      ( "absint",
+        Obs.Json.Obj
+          [
+            ( "classes",
+              Absint_exp.totals_json rep.Analysis.Lint.absint_totals );
+            ( "gated",
+              match rep.Analysis.Lint.absint_gated with
+              | Some reason -> Obs.Json.String reason
+              | None -> Obs.Json.Null );
+          ] );
+      ( "estimate",
+        Obs.Json.Obj
+          [
+            ("compulsory", Obs.Json.Int r.estimate.Sim.Estimate.compulsory);
+            ("conflict", Obs.Json.Int r.estimate.Sim.Estimate.conflict);
+            ("est_misses", Obs.Json.Int r.estimate.Sim.Estimate.est_misses);
+            ( "profile_fetches",
+              Obs.Json.Int r.estimate.Sim.Estimate.profile_fetches );
+            ( "est_miss_ratio",
+              Obs.Json.Float r.estimate.Sim.Estimate.est_miss_ratio );
+          ] );
       ( "findings",
         Obs.Json.List (List.map finding_json rep.Analysis.Lint.findings) );
     ]

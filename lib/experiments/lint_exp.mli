@@ -9,6 +9,10 @@ type result = {
   strategy : Placement.Strategy.t;
   fell_back : bool;  (** the strategy degraded to the natural layout *)
   report : Analysis.Lint.report;
+  estimate : Sim.Estimate.result;
+      (** the paper-§5 heuristic for the same map (profile arithmetic,
+          still no simulation), so the JSON artifact carries all three
+          predictors side by side *)
 }
 
 val default_config : Icache.Config.t
@@ -33,8 +37,9 @@ val sweep :
 (** One {!result} per registered strategy, registry order. *)
 
 val rank : result list -> result list
-(** Best layout first: ascending static conflict score, ties broken by
-    broken-hot-arc weight, then registry order (stable). *)
+(** Best layout first: ascending certified miss upper bound, ties broken
+    by static conflict score, then broken-hot-arc weight, then registry
+    order (stable). *)
 
 val ranking_table : string -> result list -> Report.Table.t
 (** Sweep results of one benchmark as a ranking table. *)

@@ -25,6 +25,9 @@ let all : spec list =
     { id = "15"; title = "Associativity sweep"; table = Assoc_exp.table };
     { id = "16"; title = "Next-line prefetch ablation"; table = Prefetch_exp.table };
     { id = "17"; title = "Layout strategy comparison"; table = Strategy_exp.table };
+    (* E18 is the streaming/compressed-trace infrastructure study in
+       EXPERIMENTS.md; it has no table of its own. *)
+    { id = "19"; title = "Static cache bounds vs simulation"; table = Absint_exp.table };
   ]
 
 exception Unknown_experiment of string
@@ -35,6 +38,8 @@ let aliases =
     ("strategy-comparison", "17");
     ("strategies", "17");
     ("comparison", "10");
+    ("absint", "19");
+    ("bounds", "19");
   ]
 
 let find id =

@@ -109,6 +109,13 @@ type t = {
   mutable map_cache :
     ((string * int * string * string) * Placement.Address_map.t) list;
       (* (profile, revision, source kind, strategy id) -> map; MRU first *)
+  mutable absint_cache :
+    ((string * string) * Analysis.Absint.t) list;
+      (* (bench, cache geometry) -> natural-map abstract interpretation;
+         MRU first, capped like map_cache.  The classification depends
+         only on the program, the natural map and the geometry — never
+         on profile weights — so one analysis serves every profile
+         revision of a benchmark. *)
   mutable map_evicted : int;
       (* daemon-local twin of [map_evictions]: deterministic even with
          the metrics registry disabled, so stats v2 can report it on
@@ -148,6 +155,7 @@ let create ?(config = default_config) () =
     started_at = Obs.Clock.now ();
     lock = Mutex.create ();
     map_cache = [];
+    absint_cache = [];
     map_evicted = 0;
     served = 0;
     by_type = [];
@@ -229,6 +237,64 @@ let custom_map t entry (strat : Placement.Strategy.t) ~pname ~revision ~kind
           (Placement.Weight.call_of_profile prof)
       in
       Placement.Address_map.build prog ~layouts ~order)
+
+(* ------------------------------------------------------------------ *)
+(* Certified bounds for the cheap-admission tier                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Natural-map abstract interpretation, memoized per (bench, geometry)
+   under the same lock and cap discipline as the custom-map cache.  The
+   first request at a new geometry pays the fixpoint (a few ms on the
+   paper's programs); every later one is a list lookup, which is what
+   lets a <= 5ms deadline carry a certified answer at all. *)
+let cached_absint t entry cache_config =
+  let key =
+    (Experiments.Context.name entry, Icache.Config.describe cache_config)
+  in
+  Mutex.protect t.lock @@ fun () ->
+  match List.assoc_opt key t.absint_cache with
+  | Some a ->
+      t.absint_cache <- (key, a) :: List.remove_assoc key t.absint_cache;
+      a
+  | None ->
+      let prog =
+        (Experiments.Context.pipeline entry).Placement.Pipeline.program
+      in
+      let a =
+        Analysis.Absint.analyze cache_config
+          (Experiments.Context.natural_map entry)
+          prog
+      in
+      let cache = (key, a) :: t.absint_cache in
+      t.absint_cache <-
+        (if List.length cache > t.config.map_cap then
+           List.filteri (fun i _ -> i < t.config.map_cap) cache
+         else cache);
+      a
+
+let certified_json cache_config (a : Analysis.Absint.t)
+    (iv : Analysis.Absint.interval) =
+  let tot = Analysis.Absint.totals a in
+  let ratio n =
+    if iv.Analysis.Absint.fetches = 0 then 0.0
+    else float_of_int n /. float_of_int iv.Analysis.Absint.fetches
+  in
+  Obs.Json.Obj
+    [
+      ("cache", Obs.Json.String (Icache.Config.describe cache_config));
+      ("misses_lo", Obs.Json.Int iv.Analysis.Absint.lo);
+      ("misses_hi", Obs.Json.Int iv.Analysis.Absint.hi);
+      ("fetches", Obs.Json.Int iv.Analysis.Absint.fetches);
+      ("miss_ratio_lo", Obs.Json.Float (ratio iv.Analysis.Absint.lo));
+      ("miss_ratio_hi", Obs.Json.Float (ratio iv.Analysis.Absint.hi));
+      ( "blocks_classified",
+        Obs.Json.Int tot.Analysis.Absint.t_blocks_classified );
+      ("blocks", Obs.Json.Int tot.Analysis.Absint.t_blocks);
+      ( "gated",
+        match a.Analysis.Absint.gated with
+        | Some reason -> Obs.Json.String reason
+        | None -> Obs.Json.Null );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* layout-request                                                      *)
@@ -358,12 +424,41 @@ let handle_layout t ~id ~bench ~strategy ~cache_config ~profile ~deadline_ms =
         (Placement.Strategy.natural, Experiments.Context.natural_map entry)
       else (effective, map)
     in
-    let result =
-      Obs.Span.with_ ~stage:"serve.simulate"
-        ~attrs:[ ("cache", Icache.Config.describe cache_config) ]
-      @@ fun () ->
-      Experiments.Context.simulate entry cache_config map
-        (Experiments.Context.trace entry)
+    (* The cheap tier never replays a trace: it answers with the
+       memoized abstract interpretation's certified miss interval over
+       the natural layout — a sound promise, not a simulation — under
+       whichever profile weights the request resolved to (uploaded
+       snapshot or builtin).  Every other tier simulates as before. *)
+    let prediction =
+      if cheap then
+        Obs.Span.with_ ~stage:"serve.certify"
+          ~attrs:[ ("cache", Icache.Config.describe cache_config) ]
+        @@ fun () ->
+        let prof =
+          match source_prof with
+          | Some p -> p
+          | None ->
+              (Experiments.Context.pipeline entry).Placement.Pipeline.profile
+        in
+        let a = cached_absint t entry cache_config in
+        let iv =
+          Analysis.Absint.interval
+            ~entries:
+              (Analysis.Absint.profile_entries a
+                 ~weights:(Placement.Weight.cfg_of_profile prof))
+            a
+            ~counts:(Vm.Profile.block_weight prof)
+        in
+        ("certified", certified_json cache_config a iv)
+      else
+        let result =
+          Obs.Span.with_ ~stage:"serve.simulate"
+            ~attrs:[ ("cache", Icache.Config.describe cache_config) ]
+          @@ fun () ->
+          Experiments.Context.simulate entry cache_config map
+            (Experiments.Context.trace entry)
+        in
+        ("predicted", predicted_json result)
     in
     (* The cheap-admission tier is a deterministic promise — degrade
        and serve — so the wall-clock timeout only applies outside it. *)
@@ -402,7 +497,7 @@ let handle_layout t ~id ~bench ~strategy ~cache_config ~profile ~deadline_ms =
                 ("epoch", Obs.Json.Int source_epoch);
               ] );
           ("layout", layout_json prog map);
-          ("predicted", predicted_json result);
+          prediction;
         ]
     end
   end

@@ -337,9 +337,14 @@ let lint_dead_weight () =
     "per-pass census"
     [
       ("flow", 0); ("unreachable", 1); ("hot-arc", 1); ("loop-split", 0);
-      ("set-conflict", 0);
+      ("set-conflict", 0); ("absint", 1);
     ]
-    report.Analysis.Lint.by_pass
+    report.Analysis.Lint.by_pass;
+  (* The sixth pass certified a nonzero cold-start bound: the interval
+     is ordered and the guaranteed misses are weighted into [lo]. *)
+  let c = report.Analysis.Lint.certified in
+  Alcotest.(check bool) "certified interval ordered" true
+    (0 < c.Analysis.Absint.lo && c.Analysis.Absint.lo <= c.Analysis.Absint.hi)
 
 (* --- linter on a real benchmark -------------------------------------- *)
 
@@ -354,18 +359,26 @@ let golden_lint_cmp () =
     Experiments.Lint_exp.lint_entry e (Placement.Strategy.find "impact")
   in
   Alcotest.(check string) "summary line"
-    "cmp/impact: 1 finding(s) [flow=0  unreachable=0  hot-arc=0  \
-     loop-split=0  set-conflict=1]  conflict score 5.875  hot arcs broken \
-     0/488774 (0.00%)"
+    "cmp/impact: 2 finding(s) [flow=0  unreachable=0  hot-arc=0  \
+     loop-split=0  set-conflict=1  absint=1]  certified misses [24, 680]  \
+     conflict score 5.875  hot arcs broken 0/488774 (0.00%)"
     (Experiments.Lint_exp.summary r);
   (match r.Experiments.Lint_exp.report.Analysis.Lint.findings with
-  | [ f ] ->
+  | [ a; f ] ->
+    (* Findings sort by score: the certified cold-start conflict (24
+       weighted guaranteed misses) outranks the heuristic set-conflict
+       warning. *)
+    Alcotest.(check string) "pass" "absint" a.Analysis.Lint.pass;
+    Alcotest.(check string) "certified finding"
+      "[warning lint] main.b0 <impact>: certified conflict: 2 of 2 line \
+       fetches always miss (weight 12)"
+      (Diag.to_string a.Analysis.Lint.diag);
     Alcotest.(check string) "pass" "set-conflict" f.Analysis.Lint.pass;
     Alcotest.(check string) "finding"
       "[warning lint] put_octal3 <impact>: hot lines of put_octal3 and \
        main co-map to 1 of 32 cache sets (188 dynamic calls between them)"
       (Diag.to_string f.Analysis.Lint.diag)
-  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs));
+  | fs -> Alcotest.failf "expected two findings, got %d" (List.length fs));
   (* The JSON report round-trips through the strict parser. *)
   let json =
     Obs.Json.parse_exn

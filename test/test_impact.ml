@@ -24,6 +24,7 @@ let () =
       ("shapes", Test_shapes.suite);
       ("obs", Test_obs.suite);
       ("analysis", Test_analysis.suite);
+      ("absint", Test_absint.suite);
       ("parallel", Test_parallel.suite);
       ("serve", Test_serve.suite);
     ]

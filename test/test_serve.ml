@@ -317,7 +317,27 @@ let deadline_semantics () =
   Alcotest.(check string) "served the natural layout" "natural"
     (str_field "strategy" resp);
   Alcotest.(check string) "requested strategy reported" "impact"
-    (str_field "requested_strategy" resp)
+    (str_field "requested_strategy" resp);
+  (* The cheap tier answers with a certified miss interval from the
+     abstract interpretation — no trace replay — instead of a simulated
+     prediction. *)
+  Alcotest.(check bool) "cheap tier does not simulate" true
+    (Obs.Json.member "predicted" resp = None);
+  (match Obs.Json.member "certified" resp with
+  | Some c -> (
+      match (Obs.Json.member "misses_lo" c, Obs.Json.member "misses_hi" c) with
+      | Some (Obs.Json.Int lo), Some (Obs.Json.Int hi) ->
+          Alcotest.(check bool) "certified interval ordered" true
+            (0 <= lo && lo <= hi)
+      | _ -> Alcotest.fail "certified must carry misses_lo/misses_hi")
+  | None -> Alcotest.fail "cheap tier must carry a certified bound");
+  (* A roomy deadline still gets the simulated prediction. *)
+  let resp, _ =
+    Serve.Daemon.handle_line d
+      (layout_line ~id:3 [ ("deadline_ms", Obs.Json.Int 30_000) ])
+  in
+  Alcotest.(check bool) "roomy deadline simulates" true
+    (Obs.Json.member "predicted" resp <> None)
 
 let raising_strategy_degrades () =
   let config =
